@@ -1,0 +1,157 @@
+// Shared infrastructure for the figure/table benchmarks (DESIGN.md §3).
+//
+// Environment knobs (all optional) so the same binaries run as a quick
+// smoke pass here and as a full paper-scale sweep on a big machine:
+//   ROMULUS_BENCH_MS       per-data-point measurement window (default 150)
+//   ROMULUS_BENCH_THREADS  comma list of thread counts  (default "1,2,4")
+//   ROMULUS_BENCH_SCALE    multiplies op counts of fixed-size benches (def 1)
+//   ROMULUS_HEAP_MB        persistent heap size for each PTM
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/redolog.hpp"
+#include "baselines/undolog.hpp"
+#include "core/romulus.hpp"
+#include "pmem/flush.hpp"
+#include "pmem/stats.hpp"
+
+namespace romulus::bench {
+
+inline int bench_ms() {
+    if (const char* e = std::getenv("ROMULUS_BENCH_MS")) return std::atoi(e);
+    return 150;
+}
+
+inline double bench_scale() {
+    if (const char* e = std::getenv("ROMULUS_BENCH_SCALE")) return std::atof(e);
+    return 1.0;
+}
+
+inline std::vector<int> bench_threads() {
+    std::vector<int> out;
+    const char* e = std::getenv("ROMULUS_BENCH_THREADS");
+    std::string s = e ? e : "1,2,4";
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) comma = s.size();
+        out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+inline std::string bench_heap_path(const std::string& tag) {
+    return pmem::default_pmem_dir() + "/romulus_bench_" + tag + ".heap";
+}
+
+/// Fresh heap for engine E, destroyed at scope exit.
+template <typename E>
+struct Session {
+    explicit Session(size_t bytes, const std::string& tag)
+        : path(bench_heap_path(tag)) {
+        std::remove(path.c_str());
+        E::init(bytes, path);
+    }
+    ~Session() {
+        if (E::initialized()) E::destroy();
+    }
+    std::string path;
+};
+
+/// Measured multi-threaded throughput: each thread runs op(thread_idx, rng)
+/// in a loop for `ms` milliseconds; returns total operations per second.
+template <typename OpFn>
+double run_throughput(int nthreads, int ms, OpFn&& op) {
+    std::atomic<bool> start{false}, stop{false};
+    std::atomic<uint64_t> total{0};
+    std::vector<std::thread> ts;
+    ts.reserve(nthreads);
+    for (int t = 0; t < nthreads; ++t) {
+        ts.emplace_back([&, t] {
+            std::mt19937_64 rng(0x9E3779B9u + t);
+            while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+            uint64_t n = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                op(t, rng);
+                ++n;
+            }
+            total.fetch_add(n);
+        });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    start.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : ts) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return static_cast<double>(total.load()) / secs;
+}
+
+/// Run `f.template operator()<PTM>()` for each of the five PTMs of the
+/// evaluation.  Use with a generic lambda: for_each_ptm([]<typename E>() {...});
+template <typename F>
+void for_each_ptm(F&& f) {
+    f.template operator()<RomulusNL>();
+    f.template operator()<RomulusLog>();
+    f.template operator()<RomulusLR>();
+    f.template operator()<baselines::UndoLogPTM>();
+    f.template operator()<baselines::RedoLogPTM>();
+}
+
+/// Short display names matching the paper's figure legends.
+template <typename E>
+const char* short_name() {
+    if constexpr (std::is_same_v<E, RomulusNL>) return "Rom";
+    else if constexpr (std::is_same_v<E, RomulusLog>) return "RomL";
+    else if constexpr (std::is_same_v<E, RomulusLR>) return "RomLR";
+    else if constexpr (std::is_same_v<E, baselines::UndoLogPTM>) return "PMDK*";
+    else return "Mne*";
+    // * our from-scratch analogs of PMDK / Mnemosyne (DESIGN.md §1)
+}
+
+/// Prepopulate helper: runs `insert(i)` for keys [0,n) in batches wrapped in
+/// one enclosing transaction each — essential for RomulusNL (one back-copy
+/// per batch, not per insert) and required for RedoLogPTM (bounded write
+/// sets).
+template <typename E, typename InsertFn>
+void prepopulate(uint64_t n, InsertFn&& insert, uint64_t batch = 256) {
+    for (uint64_t base = 0; base < n; base += batch) {
+        const uint64_t hi = std::min(n, base + batch);
+        E::updateTx([&] {
+            for (uint64_t i = base; i < hi; ++i) insert(i);
+        });
+    }
+}
+
+inline void print_header(const char* title) {
+    std::printf("\n=== %s ===\n", title);
+}
+
+/// Human-readable ops/sec.
+inline std::string fmt_rate(double ops) {
+    char buf[64];
+    if (ops >= 1e6) {
+        std::snprintf(buf, sizeof buf, "%8.2fM", ops / 1e6);
+    } else if (ops >= 1e3) {
+        std::snprintf(buf, sizeof buf, "%8.2fk", ops / 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%8.1f ", ops);
+    }
+    return buf;
+}
+
+}  // namespace romulus::bench

@@ -1,0 +1,77 @@
+// E2 — Figure 4: update-only and read-only throughput on a linked list,
+// a resizable hash map and a red-black tree holding 1,000 entries, for all
+// five PTMs across a thread sweep.
+//
+// Workload definition from §6.2: "An update operation is composed of two
+// consecutive transactions, a removal followed by an insertion, whereas a
+// read operation is composed of two consecutive read-only transactions,
+// each executes a search for an existing random key."
+//
+// Paper shapes to check: RomulusLog >= ~2x the undo-log baseline and >= ~4x
+// the redo-log baseline on updates; reads 1-2 orders of magnitude above
+// both baselines; the list outperforms the tree (fewer stores per tx).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ds/hash_map.hpp"
+#include "ds/linked_list_set.hpp"
+#include "ds/rb_tree.hpp"
+
+using namespace romulus;
+using namespace romulus::bench;
+
+namespace {
+
+constexpr uint64_t kKeys = 1000;  // §6.2 (also Mnemosyne's stability limit)
+
+template <typename E, template <typename, typename> class DS>
+void run_structure(const char* ds_name) {
+    const auto threads = bench_threads();
+    const int ms = bench_ms();
+
+    for (const char* workload : {"update", "read"}) {
+        std::printf("%-6s %-9s %-7s", short_name<E>(), ds_name, workload);
+        for (int nt : threads) {
+            Session<E> session(96u << 20, "fig4");
+            using Set = DS<E, uint64_t>;
+            Set* set = nullptr;
+            E::updateTx([&] { set = E::template tmNew<Set>(); });
+            prepopulate<E>(kKeys, [&](uint64_t i) { set->add(i * 2 + 1); });
+
+            double ops;
+            if (std::strcmp(workload, "update") == 0) {
+                ops = run_throughput(nt, ms, [&](int, std::mt19937_64& rng) {
+                    const uint64_t k = (rng() % kKeys) * 2 + 1;
+                    set->remove(k);  // two consecutive transactions (§6.2)
+                    set->add(k);
+                });
+            } else {
+                ops = run_throughput(nt, ms, [&](int, std::mt19937_64& rng) {
+                    const uint64_t k1 = (rng() % kKeys) * 2 + 1;
+                    const uint64_t k2 = (rng() % kKeys) * 2 + 1;
+                    (void)set->contains(k1);  // two read-only transactions
+                    (void)set->contains(k2);
+                });
+            }
+            std::printf(" %s", fmt_rate(ops).c_str());
+            E::updateTx([&] { E::tmDelete(set); });
+        }
+        std::printf("  TX/s\n");
+    }
+}
+
+}  // namespace
+
+int main() {
+    pmem::set_profile(pmem::Profile::CLFLUSH);  // the paper's §6.2 machine
+    print_header("Figure 4: data structure throughput, 1,000 entries");
+    std::printf("threads:");
+    for (int nt : bench_threads()) std::printf(" %8d ", nt);
+    std::printf("\n");
+    for_each_ptm([&]<typename E>() {
+        run_structure<E, ds::LinkedListSet>("list");
+        run_structure<E, ds::HashMap>("hashmap");
+        run_structure<E, ds::RBTree>("rbtree");
+    });
+    return 0;
+}

@@ -1,0 +1,76 @@
+// E4 — Figure 6: resizable hash map with 10K / 100K / 1M keys, 100% update
+// operations, sweeping threads.
+//
+// Paper shape to check: all log-based implementations hold their throughput
+// as the data set grows; the basic Romulus (full main->back copy per
+// transaction) collapses with size — "the only exception is the basic
+// Romulus algorithm, which suffers from the data size due to the longer
+// copy procedure."
+//
+// 1M keys needs a multi-GB heap and minutes of prepopulation; enable it
+// with ROMULUS_BENCH_1M=1 (the 10K->100K trend already shows the collapse).
+// The redo-log baseline cannot run the largest resize transactions (bounded
+// persistent logs) — reported as n/a, mirroring the paper's footnote 2 that
+// Mnemosyne "does not support allocation of sufficiently large amounts of
+// data" and is omitted from this figure.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ds/hash_map.hpp"
+
+using namespace romulus;
+using namespace romulus::bench;
+
+namespace {
+
+template <typename E>
+void run_size(uint64_t nkeys, size_t heap_bytes) {
+    const auto threads = bench_threads();
+    std::printf("%-6s %8luK", short_name<E>(), (unsigned long)(nkeys / 1000));
+    for (int nt : threads) {
+        Session<E> session(heap_bytes, "fig6");
+        using Map = ds::HashMap<E, uint64_t>;
+        Map* map = nullptr;
+        try {
+            E::updateTx([&] {
+                // Pre-size the bucket array: the paper prepopulates too, and
+                // this keeps resize transactions bounded for the baselines.
+                map = E::template tmNew<Map>(nkeys / 2);
+            });
+            prepopulate<E>(nkeys, [&](uint64_t i) { map->add(i); });
+        } catch (const std::exception&) {
+            std::printf(" %8s ", "n/a");
+            continue;
+        }
+        const double ops =
+            run_throughput(nt, bench_ms(), [&](int, std::mt19937_64& rng) {
+                const uint64_t k = rng() % nkeys;
+                map->remove(k);
+                map->add(k);
+            });
+        std::printf(" %s", fmt_rate(ops).c_str());
+        E::updateTx([&] { E::tmDelete(map); });
+    }
+    std::printf("  TX/s\n");
+}
+
+}  // namespace
+
+int main() {
+    pmem::set_profile(pmem::Profile::CLFLUSH);
+    print_header("Figure 6: hash map, 100% updates, growing key counts");
+    std::printf("%-6s %9s", "PTM", "keys");
+    for (int nt : bench_threads()) std::printf(" %8dthr", nt);
+    std::printf("\n");
+
+    std::vector<std::pair<uint64_t, size_t>> sizes = {
+        {10'000, 128u << 20}, {100'000, 512u << 20}};
+    if (const char* e = std::getenv("ROMULUS_BENCH_1M"); e && *e == '1')
+        sizes.push_back({1'000'000, size_t{4} << 30});
+
+    for (auto [nkeys, heap] : sizes) {
+        for_each_ptm([&]<typename E>() { run_size<E>(nkeys, heap); });
+        std::printf("\n");
+    }
+    return 0;
+}

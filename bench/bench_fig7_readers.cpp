@@ -1,0 +1,104 @@
+// E5 — Figure 7: read-dominated workloads on a 1,000-entry hash map.
+// Left graph: 2 concurrent writer threads + a sweep of reader threads,
+// reporting read TX/s and write TX/s separately.  Right graph: readers only.
+//
+// Paper shapes to check: RomulusLR's wait-free readers scale and are never
+// blocked by the writers; the unfair reader-preference lock of the PMDK
+// setup starves its writers as readers grow ("prevents writers from running
+// with 16 concurrent reader threads or more"); read-only throughput of all
+// Romulus variants is orders of magnitude above the baselines.
+#include <atomic>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ds/hash_map.hpp"
+
+using namespace romulus;
+using namespace romulus::bench;
+
+namespace {
+
+constexpr uint64_t kKeys = 1000;
+
+struct Rates {
+    double reads;
+    double writes;
+};
+
+template <typename E>
+Rates run_mixed(int nreaders, int nwriters) {
+    Session<E> session(96u << 20, "fig7");
+    using Map = ds::HashMap<E, uint64_t>;
+    Map* map = nullptr;
+    E::updateTx([&] { map = E::template tmNew<Map>(512); });
+    prepopulate<E>(kKeys, [&](uint64_t i) { map->add(i); });
+
+    std::atomic<bool> start{false}, stop{false};
+    std::atomic<uint64_t> reads{0}, writes{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < nreaders; ++t) {
+        ts.emplace_back([&, t] {
+            std::mt19937_64 rng(100 + t);
+            while (!start.load()) std::this_thread::yield();
+            uint64_t n = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                (void)map->contains(rng() % kKeys);
+                ++n;
+            }
+            reads.fetch_add(n);
+        });
+    }
+    for (int t = 0; t < nwriters; ++t) {
+        ts.emplace_back([&, t] {
+            std::mt19937_64 rng(900 + t);
+            while (!start.load()) std::this_thread::yield();
+            uint64_t n = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const uint64_t k = rng() % kKeys;
+                map->remove(k);
+                map->add(k);
+                ++n;
+            }
+            writes.fetch_add(n);
+        });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    start.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(bench_ms()));
+    stop.store(true);
+    for (auto& t : ts) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    E::updateTx([&] { E::tmDelete(map); });
+    return {reads.load() / secs, writes.load() / secs};
+}
+
+}  // namespace
+
+int main() {
+    pmem::set_profile(pmem::Profile::CLFLUSH);
+    const auto threads = bench_threads();
+
+    print_header("Figure 7 (left): N readers + 2 concurrent writers");
+    std::printf("%-6s %8s", "PTM", "readers");
+    std::printf(" %10s %10s\n", "read TX/s", "write TX/s");
+    for_each_ptm([&]<typename E>() {
+        for (int nr : threads) {
+            Rates r = run_mixed<E>(nr, 2);
+            std::printf("%-6s %8d %s %s\n", short_name<E>(), nr,
+                        fmt_rate(r.reads).c_str(), fmt_rate(r.writes).c_str());
+        }
+    });
+
+    print_header("Figure 7 (right): readers only, no writer");
+    std::printf("%-6s %8s %10s\n", "PTM", "readers", "read TX/s");
+    for_each_ptm([&]<typename E>() {
+        for (int nr : threads) {
+            Rates r = run_mixed<E>(nr, 0);
+            std::printf("%-6s %8d %s\n", short_name<E>(), nr,
+                        fmt_rate(r.reads).c_str());
+        }
+    });
+    return 0;
+}

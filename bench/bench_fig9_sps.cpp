@@ -1,0 +1,87 @@
+// E8 — Figure 9: the SPS microbenchmark — an array of 10,000 64-bit
+// integers in persistent memory; each transaction swaps S randomly chosen
+// pairs, with S swept over {1,4,8,16,32,64,128,256,1024}, for five fence
+// configurations: clwb+sfence, clflushopt+sfence, clflush, STT-RAM delays
+// (140+200 ns) and PCM delays (340+500 ns).  Single-threaded; reported in
+// swaps per microsecond.
+//
+// Paper shapes to check: RomulusLog/LR lead everywhere except the largest
+// transactions, where the basic Romulus' full-array copy amortises and
+// overtakes them (crossover near 1,024 swaps/tx); the cheaper the pwb
+// (clwb), the bigger Romulus' advantage; with expensive pwbs (PCM) the gap
+// to the baselines narrows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace romulus;
+using namespace romulus::bench;
+
+namespace {
+
+constexpr uint64_t kArraySize = 10'000;
+
+template <typename E>
+double run_sps(int swaps_per_tx) {
+    Session<E> session(64u << 20, "fig9");
+    using PU = typename E::template p<uint64_t>;
+    PU* arr = nullptr;
+    E::updateTx(
+        [&] { arr = static_cast<PU*>(E::alloc_bytes(sizeof(PU) * kArraySize)); });
+    for (uint64_t base = 0; base < kArraySize; base += 500) {
+        E::updateTx([&] {
+            for (uint64_t i = base; i < std::min(kArraySize, base + 500); ++i)
+                arr[i] = i;
+        });
+    }
+
+    const double tx_per_sec =
+        run_throughput(1, bench_ms(), [&](int, std::mt19937_64& rng) {
+            E::updateTx([&] {
+                for (int s = 0; s < swaps_per_tx; ++s) {
+                    const uint64_t i = rng() % kArraySize;
+                    const uint64_t j = rng() % kArraySize;
+                    const uint64_t vi = arr[i].pload();
+                    const uint64_t vj = arr[j].pload();
+                    arr[i] = vj;
+                    arr[j] = vi;
+                }
+            });
+        });
+    return tx_per_sec * swaps_per_tx / 1e6;  // swaps per microsecond
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<std::pair<pmem::Profile, const char*>> profiles = {
+        {pmem::Profile::CLWB, "clwb+sfence"},
+        {pmem::Profile::CLFLUSHOPT, "clflushopt+sfence"},
+        {pmem::Profile::CLFLUSH, "clflush"},
+        {pmem::Profile::STT, "STT (140+200ns)"},
+        {pmem::Profile::PCM, "PCM (340+500ns)"},
+    };
+    const std::vector<int> sizes = {1, 4, 8, 16, 32, 64, 128, 256, 1024};
+
+    print_header("Figure 9: SPS benchmark (swaps/us, single thread)");
+    for (auto [prof, label] : profiles) {
+        pmem::set_profile(prof);
+        std::printf("\n-- %s (effective: %s) --\n", label,
+                    pmem::profile_name(pmem::effective_profile()));
+        std::printf("%-6s", "sw/tx:");
+        for (int s : sizes) std::printf(" %7d", s);
+        std::printf("\n");
+        for_each_ptm([&]<typename E>() {
+            std::printf("%-6s", short_name<E>());
+            for (int s : sizes) {
+                if (std::is_same_v<E, baselines::RedoLogPTM> && s > 1024) {
+                    std::printf(" %7s", "n/a");
+                    continue;
+                }
+                std::printf(" %7.3f", run_sps<E>(s));
+            }
+            std::printf("\n");
+        });
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks of the substrate primitives (google-benchmark): the raw
+// cost of pwb under each flush backend, fence costs, persist<T> store/load
+// interposition overhead, allocator throughput and the synchronization
+// constructs.  These calibrate the figure benches: e.g. §6.2's observation
+// that with CLFLUSH "performance is mainly dominated by the number of pwb
+// instructions per transaction".
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "sync/crwwp.hpp"
+#include "sync/left_right.hpp"
+
+using namespace romulus;
+using namespace romulus::bench;
+
+namespace {
+
+// One shared heap for the whole binary (benchmark re-runs each case).
+struct GlobalHeap {
+    GlobalHeap() {
+        std::remove(bench_heap_path("prims").c_str());
+        RomulusLog::init(64u << 20, bench_heap_path("prims"));
+        RomulusLog::updateTx([&] {
+            buf = static_cast<uint8_t*>(RomulusLog::alloc_bytes(1 << 20));
+        });
+    }
+    ~GlobalHeap() { RomulusLog::destroy(); }
+    uint8_t* buf = nullptr;
+};
+GlobalHeap& heap() {
+    static GlobalHeap h;
+    return h;
+}
+
+void BM_pwb(benchmark::State& state, pmem::Profile prof) {
+    pmem::set_profile(prof);
+    uint8_t* buf = heap().buf;
+    uint64_t line = 0;
+    for (auto _ : state) {
+        buf[line * 64] = uint8_t(line);
+        pmem::pwb(buf + line * 64);
+        pmem::pfence();
+        line = (line + 1) % 1024;
+    }
+    pmem::set_profile(pmem::Profile::NOP);
+}
+
+void BM_persist_store(benchmark::State& state) {
+    pmem::set_profile(pmem::Profile::NOP);
+    using PU = RomulusLog::p<uint64_t>;
+    PU* arr = reinterpret_cast<PU*>(heap().buf);
+    uint64_t i = 0;
+    RomulusLog::updateTx([&] {
+        for (auto _ : state) {
+            arr[i % 512] = i;
+            ++i;
+        }
+    });
+}
+
+void BM_persist_load(benchmark::State& state) {
+    pmem::set_profile(pmem::Profile::NOP);
+    using PU = RomulusLog::p<uint64_t>;
+    PU* arr = reinterpret_cast<PU*>(heap().buf);
+    uint64_t i = 0, sink = 0;
+    for (auto _ : state) {
+        sink += arr[i % 512].pload();
+        ++i;
+    }
+    benchmark::DoNotOptimize(sink);
+}
+
+void BM_alloc_free(benchmark::State& state) {
+    pmem::set_profile(pmem::Profile::NOP);
+    const size_t sz = state.range(0);
+    for (auto _ : state) {
+        RomulusLog::updateTx([&] {
+            void* ptr = RomulusLog::alloc_bytes(sz);
+            RomulusLog::free_bytes(ptr);
+        });
+    }
+}
+
+void BM_crwwp_read_lock(benchmark::State& state) {
+    static sync::CRWWPLock lock;
+    const int t = sync::tid();
+    for (auto _ : state) {
+        lock.read_lock(t);
+        lock.read_unlock(t);
+    }
+}
+
+void BM_leftright_arrive_depart(benchmark::State& state) {
+    static sync::LeftRight lr;
+    const int t = sync::tid();
+    for (auto _ : state) {
+        int vi = lr.arrive(t);
+        benchmark::DoNotOptimize(lr.read_region());
+        lr.depart(t, vi);
+    }
+}
+
+void BM_empty_update_tx(benchmark::State& state) {
+    pmem::set_profile(pmem::Profile::NOP);
+    for (auto _ : state) RomulusLog::updateTx([&] {});
+}
+
+void BM_read_tx(benchmark::State& state) {
+    pmem::set_profile(pmem::Profile::NOP);
+    for (auto _ : state) RomulusLog::readTx([&] {});
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_pwb, nop, pmem::Profile::NOP);
+BENCHMARK_CAPTURE(BM_pwb, clflush, pmem::Profile::CLFLUSH);
+BENCHMARK_CAPTURE(BM_pwb, clflushopt, pmem::Profile::CLFLUSHOPT);
+BENCHMARK_CAPTURE(BM_pwb, clwb, pmem::Profile::CLWB);
+BENCHMARK_CAPTURE(BM_pwb, stt, pmem::Profile::STT);
+BENCHMARK_CAPTURE(BM_pwb, pcm, pmem::Profile::PCM);
+BENCHMARK(BM_persist_store);
+BENCHMARK(BM_persist_load);
+BENCHMARK(BM_alloc_free)->Arg(48)->Arg(256)->Arg(4096);
+BENCHMARK(BM_crwwp_read_lock);
+BENCHMARK(BM_leftright_arrive_depart);
+BENCHMARK(BM_empty_update_tx);
+BENCHMARK(BM_read_tx);
+
+int main(int argc, char** argv) {
+    heap();  // initialise before benchmark touches anything
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the paper's Algorithms 2 & 3 — a persistent sorted linked
+// list, created, used and destroyed inside Romulus transactions.
+//
+//   build/examples/quickstart           # first run: creates and fills
+//   build/examples/quickstart           # second run: data is still there
+//   build/examples/quickstart --clean   # deallocate and reset
+//
+// The heap lives in /dev/shm/romulus_quickstart.heap (override the
+// directory with ROMULUS_PMEM_DIR).
+#include <cstdio>
+#include <cstring>
+
+#include "core/romulus.hpp"
+#include "ds/linked_list_set.hpp"
+
+using romulus::RomulusLog;
+using List = romulus::ds::LinkedListSet<RomulusLog, int64_t>;
+
+int main(int argc, char** argv) {
+    romulus::pmem::set_profile(romulus::pmem::Profile::CLFLUSH);
+    RomulusLog::init(32u << 20,
+                     romulus::pmem::default_pmem_dir() + "/romulus_quickstart.heap");
+
+    if (argc > 1 && std::strcmp(argv[1], "--clean") == 0) {
+        // Algorithm 3, lines 15-21: deallocate and remove from NVM.
+        RomulusLog::updateTx([&] {
+            if (auto* set = RomulusLog::get_object<List>(0)) {
+                RomulusLog::tmDelete(set);
+                RomulusLog::put_object(0, nullptr);
+            }
+        });
+        std::printf("list deallocated; heap is empty again\n");
+        RomulusLog::close();
+        return 0;
+    }
+
+    // Algorithm 3, lines 2-8: create the list if this is the first run.
+    List* set = RomulusLog::get_object<List>(0);
+    if (set == nullptr) {
+        RomulusLog::updateTx([&] {
+            set = RomulusLog::tmNew<List>();
+            RomulusLog::put_object(0, set);
+        });
+        std::printf("fresh heap: created a new persistent list\n");
+    } else {
+        std::printf("existing heap: found a list with %llu elements\n",
+                    (unsigned long long)set->size());
+    }
+
+    // Algorithm 3, lines 10-13: operate on it with durable transactions.
+    set->add(33);
+    set->add(42);
+    set->add(7);
+    if (!set->contains(33)) {
+        std::fprintf(stderr, "BUG: 33 should be in the set\n");
+        return 1;
+    }
+
+    std::printf("list contents (sorted): ");
+    set->for_each([](int64_t k) { std::printf("%lld ", (long long)k); });
+    std::printf("\nevery add() above was durable before it returned —\n"
+                "run me again and the data will still be here.\n");
+
+    RomulusLog::close();
+    return 0;
+}

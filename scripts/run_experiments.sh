@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper (EXPERIMENTS.md) and the test
+# log.  Usage:
+#   scripts/run_experiments.sh [quick|full|paper]
+#
+#   quick  — ~2 min smoke pass (60 ms/point, 1-2 threads)
+#   full   — the reference configuration used for EXPERIMENTS.md (default)
+#   paper  — paper-scale sweep: long windows, wide thread sweep, 1M-key and
+#            GB-scale points enabled.  Expect hours; needs many cores and
+#            ~10 GB of /dev/shm.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+case "$mode" in
+  quick)
+    export ROMULUS_BENCH_MS=60 ROMULUS_BENCH_THREADS=1,2 ROMULUS_BENCH_SCALE=0.3
+    ;;
+  full)
+    export ROMULUS_BENCH_MS=150 ROMULUS_BENCH_THREADS=1,2,4 ROMULUS_BENCH_SCALE=1
+    ;;
+  paper)
+    export ROMULUS_BENCH_MS=2000 ROMULUS_BENCH_THREADS=1,2,4,8,16,32,64
+    export ROMULUS_BENCH_SCALE=10 ROMULUS_BENCH_1M=1
+    ;;
+  *)
+    echo "usage: $0 [quick|full|paper]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== benchmarks ($mode) =="
+for b in build/bench/*; do
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

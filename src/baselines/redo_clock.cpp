@@ -1,0 +1,18 @@
+#include "baselines/redo_clock.hpp"
+
+#include "baselines/redolog.hpp"
+#include "baselines/undolog.hpp"
+
+namespace romulus::baselines {
+
+std::atomic<uint64_t> g_redo_clock{1};
+
+// Out-of-line definitions of the baselines' static state (GCC rejects
+// `static inline` members whose type uses default member initializers
+// declared later in the same enclosing class).
+RedoLogPTM::State RedoLogPTM::s{};
+thread_local RedoLogPTM::TlState RedoLogPTM::tl{};
+UndoLogPTM::State UndoLogPTM::s{};
+thread_local UndoLogPTM::TlState UndoLogPTM::tl{};
+
+}  // namespace romulus::baselines

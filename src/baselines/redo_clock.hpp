@@ -1,0 +1,11 @@
+// Global version clock shared by RedoLogPTM transactions (TL2/TinySTM-style).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace romulus::baselines {
+
+extern std::atomic<uint64_t> g_redo_clock;
+
+}  // namespace romulus::baselines

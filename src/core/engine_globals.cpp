@@ -1,0 +1,15 @@
+#include "core/engine_globals.hpp"
+
+#include <cstdlib>
+
+namespace romulus {
+
+size_t default_heap_bytes() {
+    if (const char* mb = std::getenv("ROMULUS_HEAP_MB")) {
+        long v = std::atol(mb);
+        if (v > 0) return static_cast<size_t>(v) * 1024 * 1024;
+    }
+    return 64ull * 1024 * 1024;
+}
+
+}  // namespace romulus

@@ -1,0 +1,14 @@
+// Process-wide engine configuration helpers.
+#pragma once
+
+#include <cstddef>
+
+namespace romulus {
+
+/// Default persistent heap size: ROMULUS_HEAP_MB env var (in MiB) or 64 MiB.
+size_t default_heap_bytes();
+
+/// Size of every PTM's root-object ("objects array", §4.3) table.
+inline constexpr int kMaxRootObjects = 64;
+
+}  // namespace romulus

@@ -1,0 +1,92 @@
+// Volatile redo log of modified ranges (§4.7).
+//
+// Unlike every prior PTM log, this one stores *only addresses and lengths*,
+// never data, and lives in volatile memory: the recovery procedure does not
+// need it (Algorithm 1 recovers from the twin copy alone), so nothing about
+// it is ever flushed.  At commit, the logged cache lines are (a) written
+// back on main — one pwb per modified line instead of one per store — and
+// (b) copied from main to back instead of copying the whole region.
+//
+// Deduplication is at cache-line granularity through an epoch-tagged
+// open-addressing table, so a transaction that hammers one counter logs (and
+// later flushes/copies) a single line.  If a transaction touches more bytes
+// than a threshold (or overflows the table) the log degenerates to
+// "full copy" mode — the same behaviour as the basic algorithm, which §6.6
+// shows is actually *preferable* for huge transactions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pmem/flush.hpp"
+
+namespace romulus {
+
+class RangeLog {
+  public:
+    struct Entry {
+        uint64_t off;  ///< byte offset of the cache line within main
+        uint32_t len;  ///< always a whole cache line today
+    };
+
+    explicit RangeLog(size_t table_bits = 16)
+        : mask_((size_t{1} << table_bits) - 1),
+          lines_(size_t{1} << table_bits),
+          epochs_(size_t{1} << table_bits, 0) {}
+
+    /// Start a transaction.  `full_copy_threshold` is the number of logged
+    /// bytes beyond which we give up and fall back to a full region copy.
+    void begin_tx(size_t full_copy_threshold) {
+        ++epoch_;
+        entries_.clear();
+        logged_bytes_ = 0;
+        threshold_ = full_copy_threshold;
+        full_copy_ = false;
+    }
+
+    /// Record a store of `len` bytes at main-relative offset `off`.
+    void add(size_t off, size_t len) {
+        if (full_copy_ || len == 0) return;
+        const size_t first = off / pmem::kCacheLineSize;
+        const size_t last = (off + len - 1) / pmem::kCacheLineSize;
+        for (size_t line = first; line <= last; ++line) add_line(line);
+    }
+
+    bool full_copy() const { return full_copy_; }
+    const std::vector<Entry>& entries() const { return entries_; }
+    size_t logged_bytes() const { return logged_bytes_; }
+
+  private:
+    void add_line(size_t line) {
+        size_t h = (line * 0x9E3779B97F4A7C15ull) & mask_;
+        for (size_t probe = 0; probe <= kMaxProbe; ++probe) {
+            size_t i = (h + probe) & mask_;
+            if (epochs_[i] == epoch_) {
+                if (lines_[i] == line) return;  // duplicate line
+                continue;                       // occupied, keep probing
+            }
+            epochs_[i] = epoch_;
+            lines_[i] = line;
+            entries_.push_back(Entry{line * pmem::kCacheLineSize,
+                                     static_cast<uint32_t>(pmem::kCacheLineSize)});
+            logged_bytes_ += pmem::kCacheLineSize;
+            if (logged_bytes_ > threshold_) full_copy_ = true;
+            return;
+        }
+        full_copy_ = true;  // table too crowded: degrade to full copy
+    }
+
+    static constexpr size_t kMaxProbe = 32;
+
+    size_t mask_;
+    std::vector<size_t> lines_;
+    std::vector<uint32_t> epochs_;
+    uint32_t epoch_ = 0;
+    std::vector<Entry> entries_;
+    size_t logged_bytes_ = 0;
+    size_t threshold_ = ~size_t{0};
+    bool full_copy_ = false;
+};
+
+}  // namespace romulus

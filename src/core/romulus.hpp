@@ -1,0 +1,665 @@
+// The Romulus persistent transactional memory engine (§4, §5).
+//
+// One template implements all three published variants; the traits select
+// the algorithm exactly as the paper names them (§5.3, last paragraph):
+//
+//   RomulusNL  — the basic algorithm (Algorithm 1): in-place mutation of
+//                main, full main->back copy at commit, one pwb per store,
+//                C-RW-WP + flat combining for concurrency.
+//   RomulusLog — basic algorithm + the volatile range log (§4.7): commit
+//                flushes and replicates only the modified cache lines, so a
+//                transaction needs at most 4 persistence fences and one pwb
+//                per modified line.  C-RW-WP + flat combining.
+//   RomulusLR  — RomulusLog + Left-Right synchronization (§5.3): wait-free
+//                read-only transactions that run on the back region through
+//                synthetic pointers (Figure 3) while the writer mutates main.
+//
+// Memory layout (Figure 2):   [ header | main | back ]
+// with the root-object array and the allocator metadata living at the start
+// of main — i.e. inside the replicated area — so that a crash rolls them
+// back together with user data (§4.4).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "alloc/pallocator.hpp"
+#include "core/engine_globals.hpp"
+#include "core/persist.hpp"
+#include "core/range_log.hpp"
+#include "pmem/flush.hpp"
+#include "pmem/region.hpp"
+#include "sync/crwwp.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/left_right.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace romulus {
+
+/// Transaction state machine of Algorithm 1.
+enum TxState : uint32_t {
+    IDL = 0,  ///< no transaction: both copies consistent
+    MUT = 1,  ///< mutating main: back is the consistent copy
+    CPY = 2,  ///< committed, replicating to back: main is consistent
+};
+
+template <typename Traits>
+class RomulusEngine {
+  public:
+    template <typename T>
+    using p = persist<T, RomulusEngine>;
+    using Alloc = PAllocator<RomulusEngine>;
+
+    static constexpr const char* name() { return Traits::kName; }
+
+    // ---------------------------------------------------------------------
+    // Lifecycle
+    // ---------------------------------------------------------------------
+
+    /// Map (and if needed format) the persistent heap.  Runs recovery when
+    /// attaching to an existing heap (so a heap left in MUT/CPY by a crash
+    /// is consistent before the first access).
+    static void init(size_t heap_bytes = 0, const std::string& file = {}) {
+        if (s.initialized) throw std::runtime_error("RomulusEngine: double init");
+        size_t size = heap_bytes ? heap_bytes : default_heap_bytes();
+        size = (size + 4095) & ~size_t{4095};
+        std::string path = file.empty()
+                               ? pmem::default_pmem_dir() + "/" + Traits::kFileName
+                               : file;
+        bool created = s.region.map(path, size, Traits::kBaseAddr);
+
+        s.header = reinterpret_cast<PHeader*>(s.region.base());
+        s.main = s.region.base() + kHeaderReserved;
+        s.main_size = ((size - kHeaderReserved) / 2) & ~size_t{63};
+        s.back = s.main + s.main_size;
+        s.meta = reinterpret_cast<MainMeta*>(s.main);
+
+        const bool valid = !created &&
+                           s.header->magic.load() == magic_value() &&
+                           s.header->main_size == s.main_size;
+        if (valid) {
+            recover();
+        } else {
+            format();
+        }
+        s.alloc.attach(&s.meta->alloc_meta, pool_base(), pool_size());
+        s.initialized = true;
+    }
+
+    /// Unmap the heap (contents persist in the file).
+    static void close() {
+        s.region.unmap();
+        s.initialized = false;
+    }
+
+    /// Unmap and delete the heap file (tests).
+    static void destroy() {
+        s.region.destroy();
+        s.initialized = false;
+    }
+
+    static bool initialized() { return s.initialized; }
+
+    // ---------------------------------------------------------------------
+    // Interposition (called by persist<T>)
+    // ---------------------------------------------------------------------
+
+    template <typename T>
+    static void pstore(T* addr, const T& val) {
+        *addr = val;
+        if (!in_main(addr)) {
+            // Stack/volatile persist<T> instances (unit tests) or stores to
+            // the non-replicated header: just account + flush when mapped.
+            if (s.initialized && s.region.contains(addr)) {
+                pmem::on_store(addr, sizeof(T));
+                pmem::pwb_range(addr, sizeof(T));
+            }
+            return;
+        }
+        pmem::on_store(addr, sizeof(T));
+        if constexpr (Traits::kUseLog) {
+            if (tl.tx_depth > 0) {
+                // pwb deferred: commit flushes each logged line exactly once.
+                s.log.add(main_offset(addr), sizeof(T));
+                return;
+            }
+        }
+        pmem::pwb_range(addr, sizeof(T));
+    }
+
+    template <typename T>
+    static T pload(const T* addr) {
+        T v = *addr;
+        if constexpr (Traits::kUseLR && std::is_pointer_v<T>) {
+            // Synthetic pointers (§5.3, Figure 3): a reader directed at the
+            // back region shifts every main-internal pointer by main_size so
+            // the traversal stays inside back.
+            if (tl.read_offset != 0 && in_main(v)) {
+                v = reinterpret_cast<T>(reinterpret_cast<uintptr_t>(v) +
+                                        tl.read_offset);
+            }
+        }
+        return v;
+    }
+
+    /// Bulk transactional store (used for byte payloads, e.g. DB values).
+    static void store_range(void* dst, const void* src, size_t n) {
+        std::memcpy(dst, src, n);
+        range_written(dst, n);
+    }
+
+    static void zero_range(void* dst, size_t n) {
+        std::memset(dst, 0, n);
+        range_written(dst, n);
+    }
+
+    /// Growth notification from the allocator: keeps header.used_size a
+    /// monotonic upper bound of every byte ever mutated in main, which is
+    /// what bounds the recovery copies (§6.5).  No fence needed: the commit
+    /// fence orders this pwb before the CPY state becomes persistent.
+    static void note_used(const void* end) {
+        uint64_t off = static_cast<const uint8_t*>(end) - s.main;
+        if (off > s.header->used_size.load(std::memory_order_relaxed)) {
+            s.header->used_size.store(off, std::memory_order_relaxed);
+            pmem::on_store(&s.header->used_size, 8);
+            pmem::pwb(&s.header->used_size);
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Single-writer durable transactions (Algorithm 1) — the paper's
+    // single-threaded API (§5.1).  Not thread-safe; concurrent applications
+    // use updateTx()/readTx() below.
+    // ---------------------------------------------------------------------
+
+    static void begin_transaction() {
+        if (tl.tx_depth++ > 0) return;  // flat nesting
+        if constexpr (Traits::kUseLog) {
+            s.log.begin_tx(full_copy_threshold());
+        }
+        store_state(MUT);
+        pmem::pwb(&s.header->state);
+        pmem::pfence();
+    }
+
+    static void end_transaction() {
+        assert(tl.tx_depth > 0);
+        if (tl.tx_depth > 1) {  // flat nesting: only the outermost commits
+            --tl.tx_depth;
+            return;
+        }
+        if constexpr (Traits::kUseLog) flush_logged_main_lines();
+        pmem::pfence();
+        store_state(CPY);
+        pmem::pwb(&s.header->state);
+        pmem::psync();  // ACID durability point for main
+        if constexpr (Traits::kUseLR) {
+            // Publish: new readers go to main while we refresh back.
+            s.lr.set_read_region(sync::LeftRight::kReadMain);
+            s.lr.toggle_version_and_wait();
+        }
+        copy_main_to_back();
+        pmem::pfence();  // order back writes before the IDL state write-back
+        store_state(IDL);
+        pmem::pwb(&s.header->state);
+        if constexpr (Traits::kUseLR) {
+            // Second toggle (§5.3): readers move to the refreshed back so
+            // the next update transaction starts with main unobserved.
+            s.lr.set_read_region(sync::LeftRight::kReadBack);
+            s.lr.toggle_version_and_wait();
+        }
+        tl.tx_depth = 0;
+    }
+
+    /// Roll back the current transaction instead of committing it: back is
+    /// still the previous consistent state, so restoring it over main undoes
+    /// every in-place modification (this is exactly what crash recovery does
+    /// for a MUT-state heap).  Extension beyond the paper's API.
+    static void abort_transaction() {
+        assert(tl.tx_depth > 0);
+        tl.tx_depth = 0;
+        copy_back_to_main();
+        pmem::pfence();
+        store_state(IDL);
+        pmem::pwb(&s.header->state);
+        pmem::psync();
+    }
+
+    static bool in_transaction() { return tl.tx_depth > 0; }
+
+    // ---------------------------------------------------------------------
+    // Concurrent transactions (§5)
+    // ---------------------------------------------------------------------
+
+    /// Durable update transaction with starvation-free progress: announce in
+    /// the flat-combining array; the announcer that wins the writer lock
+    /// combines every announced operation into one durable transaction.
+    template <typename F>
+    static void updateTx(F&& f) {
+        if (tl.tx_depth > 0) {  // nested: run flat inside the current tx
+            f();
+            return;
+        }
+        const int t = sync::tid();
+        sync::FlatCombiningArray::Op op{std::forward<F>(f)};
+        s.fc.announce(t, &op);
+        unsigned spins = 0;
+        while (true) {
+            if (s.fc.is_done(t)) return;
+            if (try_writer_lock()) {
+                try {
+                    combine();
+                } catch (...) {
+                    writer_unlock();
+                    throw;
+                }
+                writer_unlock();
+                if (s.fc.is_done(t)) return;
+                continue;  // extremely unlikely: re-announce race; retry
+            }
+            sync::spin_wait(spins);
+        }
+    }
+
+    /// Read-only transaction.  C-RW-WP variants block while a writer is
+    /// active; the Left-Right variant is wait-free (§5.3) and runs on the
+    /// back region whenever a writer owns main.
+    template <typename F>
+    static void readTx(F&& f) {
+        // Nested inside an update tx (read main in place) or inside another
+        // read tx (keep the outer region choice): run flat.
+        if (tl.tx_depth > 0 || tl.read_depth > 0) {
+            f();
+            return;
+        }
+        const int t = sync::tid();
+        tl.read_depth = 1;
+        if constexpr (Traits::kUseLR) {
+            // RAII so a throwing reader still departs and clears the
+            // synthetic-pointer offset.
+            struct Guard {
+                int t, vi;
+                ~Guard() {
+                    tl.read_offset = 0;
+                    tl.read_depth = 0;
+                    s.lr.depart(t, vi);
+                }
+            } guard{t, s.lr.arrive(t)};
+            tl.read_offset = (s.lr.read_region() == sync::LeftRight::kReadBack)
+                                 ? s.main_size
+                                 : 0;
+            f();
+        } else {
+            struct Guard {
+                int t;
+                ~Guard() {
+                    tl.read_depth = 0;
+                    s.rwlock.read_unlock(t);
+                }
+            } guard{t};
+            s.rwlock.read_lock(t);
+            f();
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Allocation (§4.4) — valid only inside a transaction.
+    // ---------------------------------------------------------------------
+
+    template <typename T, typename... Args>
+    static T* tmNew(Args&&... args) {
+        void* ptr = alloc_bytes(sizeof(T));
+        return new (ptr) T(std::forward<Args>(args)...);
+    }
+
+    template <typename T>
+    static void tmDelete(T* obj) {
+        if (obj == nullptr) return;
+        obj->~T();
+        free_bytes(obj);
+    }
+
+    static void* alloc_bytes(size_t n) {
+        assert(tl.tx_depth > 0 && "allocation outside a transaction");
+        void* ptr = s.alloc.alloc(n);
+        if (ptr == nullptr) throw std::bad_alloc();
+        return ptr;
+    }
+
+    static void free_bytes(void* ptr) {
+        assert(tl.tx_depth > 0 && "free outside a transaction");
+        if (ptr != nullptr) s.alloc.free(ptr);
+    }
+
+    // ---------------------------------------------------------------------
+    // Root objects (§4.3: the objects array lives inside main)
+    // ---------------------------------------------------------------------
+
+    template <typename T>
+    static T* get_object(int idx) {
+        assert(idx >= 0 && idx < kMaxRootObjects);
+        return static_cast<T*>(s.meta->roots[idx].pload());
+    }
+
+    static void put_object(int idx, void* ptr) {
+        assert(idx >= 0 && idx < kMaxRootObjects);
+        assert(tl.tx_depth > 0 && "put_object outside a transaction");
+        s.meta->roots[idx] = ptr;
+    }
+
+    // ---------------------------------------------------------------------
+    // Introspection (tests, benches)
+    // ---------------------------------------------------------------------
+
+    static uint8_t* main_base() { return s.main; }
+    static uint8_t* back_base() { return s.back; }
+    static size_t main_size() { return s.main_size; }
+    static uint64_t used_bytes() { return s.header->used_size.load(); }
+    static TxState state() {
+        return static_cast<TxState>(s.header->state.load());
+    }
+    static Alloc& allocator() { return s.alloc; }
+    static pmem::PmemRegion& region() { return s.region; }
+
+    /// Flat-combining aggregation stats (§5.3: several announced updates
+    /// execute inside one durable transaction, so the *average* number of
+    /// persistence fences per mutation drops below 4).
+    struct CombineStats {
+        uint64_t combines;
+        uint64_t combined_ops;
+        double avg_batch() const {
+            return combines == 0 ? 0.0
+                                 : double(combined_ops) / double(combines);
+        }
+    };
+    static CombineStats combine_stats() {
+        return {s.combines.load(), s.combined_ops.load()};
+    }
+    static void reset_combine_stats() {
+        s.combines.store(0);
+        s.combined_ops.store(0);
+    }
+
+    static bool in_main(const void* ptr) {
+        auto u = reinterpret_cast<uintptr_t>(ptr);
+        auto b = reinterpret_cast<uintptr_t>(s.main);
+        return u >= b && u < b + s.main_size;
+    }
+
+    /// Test hook: after a *simulated* in-process crash the thread survives,
+    /// so its transaction-context thread-locals must be cleared the way a
+    /// real restart would clear them.  (close()+init() reconstructs the
+    /// shared volatile state; this handles the thread-local part.)
+    static void crash_reset_for_tests() {
+        tl = TlState{};
+        // A real restart reconstructs all volatile synchronisation state;
+        // rebuild it in place (no readers/writers are alive at this point).
+        new (&s.rwlock) sync::CRWWPLock();
+        new (&s.lr_writer_lock) sync::SpinLock();
+        new (&s.lr) sync::LeftRight();
+        new (&s.fc) sync::FlatCombiningArray();
+    }
+
+    /// Crash-recovery entry point (Algorithm 1, lines 17-27).  init() calls
+    /// this automatically; exposed for tests and the recovery-cost bench.
+    static void recover() {
+        const uint32_t st = s.header->state.load();
+        if (st == MUT) {
+            copy_back_to_main();
+        } else if (st == CPY) {
+            copy_main_to_back();
+        } else if (st != IDL) {
+            throw std::runtime_error("RomulusEngine: corrupted state field");
+        }
+        if (st != IDL) {
+            pmem::pfence();
+            store_state(IDL);
+            pmem::pwb(&s.header->state);
+            pmem::psync();
+        }
+    }
+
+  private:
+    static constexpr size_t kHeaderReserved = 4096;
+    static constexpr uint64_t kMagicBase = 0x524F4D554C555301ull;  // "ROMULUS"+layout v1
+
+    static uint64_t magic_value() {
+        // Fold the engine name so heaps are not opened by the wrong variant.
+        uint64_t h = kMagicBase;
+        for (const char* c = Traits::kName; *c; ++c) h = h * 31 + uint64_t(*c);
+        return h;
+    }
+
+    struct alignas(64) PHeader {
+        std::atomic<uint64_t> magic;
+        std::atomic<uint32_t> state;
+        std::atomic<uint64_t> used_size;
+        uint64_t main_size;
+        uint64_t region_size;
+    };
+
+    struct MainMeta {
+        p<void*> roots[kMaxRootObjects];
+        typename Alloc::Meta alloc_meta;
+    };
+
+    // All mutable engine state, grouped so the template's statics stay tidy.
+    struct State {
+        pmem::PmemRegion region;
+        PHeader* header = nullptr;
+        uint8_t* main = nullptr;
+        uint8_t* back = nullptr;
+        size_t main_size = 0;
+        MainMeta* meta = nullptr;
+        Alloc alloc;
+        RangeLog log;
+        sync::CRWWPLock rwlock;           // C-RW-WP variants
+        sync::SpinLock lr_writer_lock;    // LR variant (readers use s.lr)
+        sync::LeftRight lr;
+        sync::FlatCombiningArray fc;
+        std::atomic<uint64_t> combines{0};      // combiner invocations
+        std::atomic<uint64_t> combined_ops{0};  // operations they executed
+        bool initialized = false;
+    };
+    static inline State s{};
+
+    struct TlState {
+        int tx_depth = 0;
+        int read_depth = 0;
+        size_t read_offset = 0;
+    };
+    static inline thread_local TlState tl{};
+
+    static uint8_t* pool_base() {
+        size_t meta_end = (sizeof(MainMeta) + 63) & ~size_t{63};
+        return s.main + meta_end;
+    }
+    static size_t pool_size() { return s.main_size - (pool_base() - s.main); }
+
+    static uint64_t main_offset(const void* ptr) {
+        return static_cast<const uint8_t*>(ptr) - s.main;
+    }
+
+    static size_t full_copy_threshold() {
+        // Beyond half the used bytes, per-line copying loses to one memcpy.
+        return static_cast<size_t>(s.header->used_size.load() / 2);
+    }
+
+    static void store_state(uint32_t st) {
+        s.header->state.store(st, std::memory_order_relaxed);
+        pmem::on_store(&s.header->state, sizeof(uint32_t));
+    }
+
+    static void range_written(void* dst, size_t n) {
+        if (!in_main(dst)) return;
+        pmem::on_store(dst, n);
+        if constexpr (Traits::kUseLog) {
+            if (tl.tx_depth > 0) {
+                s.log.add(main_offset(dst), n);
+                return;
+            }
+        }
+        pmem::pwb_range(dst, n);
+    }
+
+    static void flush_logged_main_lines() {
+        if (s.log.full_copy()) {
+            pmem::pwb_range(s.main, s.header->used_size.load());
+        } else {
+            for (const auto& e : s.log.entries())
+                pmem::pwb_range(s.main + e.off, e.len);
+        }
+    }
+
+    static void copy_range_to_back(uint64_t off, size_t len) {
+        const uint64_t used = s.header->used_size.load();
+        if (off >= used) return;
+        if (off + len > used) len = used - off;
+        std::memcpy(s.back + off, s.main + off, len);
+        pmem::on_store(s.back + off, len);
+        pmem::pwb_range(s.back + off, len);
+    }
+
+    static void copy_main_to_back() {
+        if constexpr (Traits::kUseLog) {
+            if (tl.tx_depth == 0 || s.log.full_copy()) {
+                copy_range_to_back(0, s.header->used_size.load());
+            } else {
+                for (const auto& e : s.log.entries())
+                    copy_range_to_back(e.off, e.len);
+            }
+        } else {
+            copy_range_to_back(0, s.header->used_size.load());
+        }
+    }
+
+    static void copy_back_to_main() {
+        const uint64_t used = s.header->used_size.load();
+        std::memcpy(s.main, s.back, used);
+        pmem::on_store(s.main, used);
+        pmem::pwb_range(s.main, used);
+    }
+
+    static void format() {
+        tl.tx_depth = 1;  // interposition active, log in full-copy mode
+        if constexpr (Traits::kUseLog) s.log.begin_tx(0);
+
+        s.header->magic.store(0);
+        pmem::on_store(&s.header->magic, 8);
+        pmem::pwb(&s.header->magic);
+        pmem::pfence();  // invalidate before rewriting the layout
+
+        s.header->state.store(IDL);
+        s.header->main_size = s.main_size;
+        s.header->region_size = s.region.size();
+        size_t meta_end = (sizeof(MainMeta) + 63) & ~size_t{63};
+        s.header->used_size.store(meta_end);
+        pmem::on_store(s.header, sizeof(PHeader));
+        pmem::pwb_range(s.header, sizeof(PHeader));
+
+        new (s.meta) MainMeta;  // persist<> members are uninitialised raw pods
+        for (int i = 0; i < kMaxRootObjects; ++i) s.meta->roots[i] = nullptr;
+        s.alloc.format(&s.meta->alloc_meta, pool_base(), pool_size());
+        pmem::pwb_range(s.main, meta_end);
+        pmem::pfence();
+
+        copy_range_to_back(0, meta_end);
+        pmem::pfence();
+
+        s.header->magic.store(magic_value());
+        pmem::on_store(&s.header->magic, 8);
+        pmem::pwb(&s.header->magic);
+        pmem::psync();
+        tl.tx_depth = 0;
+    }
+
+    // --- combiner ----------------------------------------------------------
+
+    static bool try_writer_lock() {
+        if constexpr (Traits::kUseLR) {
+            return s.lr_writer_lock.try_lock();
+        } else {
+            return s.rwlock.try_write_lock();
+        }
+    }
+
+    static void writer_unlock() {
+        if constexpr (Traits::kUseLR) {
+            s.lr_writer_lock.unlock();
+        } else {
+            s.rwlock.write_unlock();
+        }
+    }
+
+    /// Execute every announced operation inside one durable transaction.
+    /// Slots are cleared only after end_transaction(), i.e. after the psync
+    /// that makes the whole batch durable — an announcer that returns has a
+    /// durable, visible operation (§5.2).
+    static void combine() {
+        begin_transaction();
+        int done[sync::kMaxThreads];
+        int n = 0;
+        try {
+            s.fc.for_each_announced(
+                [&](int slot, sync::FlatCombiningArray::Op* op) {
+                    (*op)();
+                    done[n++] = slot;
+                });
+        } catch (...) {
+            // An announced operation threw (e.g. heap exhaustion): roll the
+            // whole combined transaction back — back still holds the
+            // pre-transaction state — release every announcer whose op was
+            // scanned (their effects are undone with the batch), and
+            // propagate in the combiner's thread.
+            abort_transaction();
+            for (int i = 0; i < n; ++i) s.fc.mark_done(done[i]);
+            throw;
+        }
+        end_transaction();
+        for (int i = 0; i < n; ++i) s.fc.mark_done(done[i]);
+        s.combines.fetch_add(1, std::memory_order_relaxed);
+        s.combined_ops.fetch_add(uint64_t(n), std::memory_order_relaxed);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// The three published variants (§5.3, last paragraph).
+// ---------------------------------------------------------------------------
+
+struct RomulusNLTraits {
+    static constexpr const char* kName = "RomulusNL";
+    static constexpr const char* kFileName = "romulus_nl.heap";
+    static constexpr bool kUseLog = false;
+    static constexpr bool kUseLR = false;
+    static constexpr uintptr_t kBaseAddr = 0x510000000000ull;
+};
+
+struct RomulusLogTraits {
+    static constexpr const char* kName = "RomulusLog";
+    static constexpr const char* kFileName = "romulus_log.heap";
+    static constexpr bool kUseLog = true;
+    static constexpr bool kUseLR = false;
+    static constexpr uintptr_t kBaseAddr = 0x520000000000ull;
+};
+
+struct RomulusLRTraits {
+    static constexpr const char* kName = "RomulusLR";
+    static constexpr const char* kFileName = "romulus_lr.heap";
+    static constexpr bool kUseLog = true;
+    static constexpr bool kUseLR = true;
+    static constexpr uintptr_t kBaseAddr = 0x530000000000ull;
+};
+
+using RomulusNL = RomulusEngine<RomulusNLTraits>;
+using RomulusLog = RomulusEngine<RomulusLogTraits>;
+using RomulusLR = RomulusEngine<RomulusLRTraits>;
+
+}  // namespace romulus

@@ -1,0 +1,286 @@
+// KVStore<PTM>: a persistent string-keyed key-value store built by wrapping
+// a resizable hash map in PTM transactions — the construction behind
+// RomulusDB (§6.4): "These PTMs can be straightforwardly applied to any
+// sequential implementation of a map data structure and use it to construct
+// a key-value store with persistence."
+//
+// Unlike LevelDB, every operation is a real durable transaction: when put()
+// returns, the update has passed the PTM's durability point.  WriteBatch
+// gives multi-operation atomicity (all-or-nothing), which LevelDB's write
+// batches do not combine with per-write durability unless sync is on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::db {
+
+/// One operation of an atomic batch.
+struct BatchOp {
+    enum Kind { kPut, kDelete } kind;
+    std::string key;
+    std::string value;
+};
+
+class WriteBatch {
+  public:
+    void put(std::string_view key, std::string_view value) {
+        ops_.push_back({BatchOp::kPut, std::string(key), std::string(value)});
+    }
+    void del(std::string_view key) {
+        ops_.push_back({BatchOp::kDelete, std::string(key), {}});
+    }
+    void clear() { ops_.clear(); }
+    size_t size() const { return ops_.size(); }
+    const std::vector<BatchOp>& ops() const { return ops_; }
+
+  private:
+    std::vector<BatchOp> ops_;
+};
+
+template <typename PTM>
+class KVStore {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+  public:
+    struct Node {
+        p<Node*> next;
+        p<uint64_t> hash;
+        p<char*> key_buf;
+        p<uint32_t> key_len;
+        p<char*> val_buf;
+        p<uint32_t> val_len;
+    };
+
+    /// Must be constructed inside a transaction.
+    explicit KVStore(uint64_t initial_buckets = 1024) {
+        nbuckets = initial_buckets;
+        count = 0;
+        buckets = alloc_buckets(initial_buckets);
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~KVStore() {
+        const uint64_t nb = nbuckets.pload();
+        p<Node*>* b = buckets.pload();
+        for (uint64_t i = 0; i < nb; ++i) {
+            Node* n = b[i].pload();
+            while (n != nullptr) {
+                Node* nx = n->next.pload();
+                free_node(n);
+                n = nx;
+            }
+        }
+        PTM::free_bytes(b);
+    }
+
+    /// Insert or overwrite.  Durable when the call returns.
+    void put(std::string_view key, std::string_view value) {
+        PTM::updateTx([&] { put_in_tx(key, value); });
+    }
+
+    /// Delete.  Returns true if the key existed.
+    bool del(std::string_view key) {
+        bool existed = false;
+        PTM::updateTx([&] { existed = del_in_tx(key); });
+        return existed;
+    }
+
+    /// Atomic multi-operation transaction.
+    void write(const WriteBatch& batch) {
+        PTM::updateTx([&] {
+            for (const auto& op : batch.ops()) {
+                if (op.kind == BatchOp::kPut) {
+                    put_in_tx(op.key, op.value);
+                } else {
+                    del_in_tx(op.key);
+                }
+            }
+        });
+    }
+
+    bool get(std::string_view key, std::string* value_out) const {
+        bool found = false;
+        PTM::readTx([&] {
+            const Node* n = find(key);
+            if (n == nullptr) return;
+            found = true;
+            if (value_out != nullptr) {
+                const char* vb = n->val_buf.pload();
+                value_out->assign(vb, n->val_len.pload());
+            }
+        });
+        return found;
+    }
+
+    bool contains(std::string_view key) const {
+        bool found = false;
+        PTM::readTx([&] { found = find(key) != nullptr; });
+        return found;
+    }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = count.pload(); });
+        return n;
+    }
+
+    /// Full scan, f(key, value); iteration order is hash order — the paper
+    /// notes the traversal order is irrelevant for a hash-based store
+    /// (§6.4: readseq/readreverse perform identically on RomulusDB).
+    template <typename F>
+    void for_each(F&& f) const {
+        PTM::readTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>* b = buckets.pload();
+            for (uint64_t i = 0; i < nb; ++i) {
+                for (const Node* n = b[i].pload(); n != nullptr;
+                     n = n->next.pload()) {
+                    f(std::string_view(n->key_buf.pload(), n->key_len.pload()),
+                      std::string_view(n->val_buf.pload(), n->val_len.pload()));
+                }
+            }
+        });
+    }
+
+    /// Reverse-order scan (readreverse): same cost profile by construction.
+    template <typename F>
+    void for_each_reverse(F&& f) const {
+        PTM::readTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>* b = buckets.pload();
+            for (uint64_t i = nb; i-- > 0;) {
+                for (const Node* n = b[i].pload(); n != nullptr;
+                     n = n->next.pload()) {
+                    f(std::string_view(n->key_buf.pload(), n->key_len.pload()),
+                      std::string_view(n->val_buf.pload(), n->val_len.pload()));
+                }
+            }
+        });
+    }
+
+  private:
+    static uint64_t hash_of(std::string_view s) {
+        uint64_t h = 1469598103934665603ull;  // FNV-1a
+        for (char c : s) {
+            h ^= static_cast<uint8_t>(c);
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
+    static p<Node*>* alloc_buckets(uint64_t n) {
+        auto* b =
+            static_cast<p<Node*>*>(PTM::alloc_bytes(n * sizeof(p<Node*>)));
+        for (uint64_t i = 0; i < n; ++i) b[i] = nullptr;
+        return b;
+    }
+
+    const Node* find(std::string_view key) const {
+        const uint64_t h = hash_of(key);
+        p<Node*>* b = buckets.pload();
+        for (const Node* n = b[h % nbuckets.pload()].pload(); n != nullptr;
+             n = n->next.pload()) {
+            if (n->hash.pload() == h && key_equals(n, key)) return n;
+        }
+        return nullptr;
+    }
+
+    static bool key_equals(const Node* n, std::string_view key) {
+        if (n->key_len.pload() != key.size()) return false;
+        return std::memcmp(n->key_buf.pload(), key.data(), key.size()) == 0;
+    }
+
+    static char* alloc_string(std::string_view s) {
+        char* buf = static_cast<char*>(PTM::alloc_bytes(s.size() ? s.size() : 1));
+        PTM::store_range(buf, s.data(), s.size());
+        return buf;
+    }
+
+    void put_in_tx(std::string_view key, std::string_view value) {
+        const uint64_t h = hash_of(key);
+        p<Node*>& slot = buckets.pload()[h % nbuckets.pload()];
+        for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+            if (n->hash.pload() == h && key_equals(n, key)) {
+                // Overwrite: reuse the buffer when the size matches.
+                if (n->val_len.pload() == value.size()) {
+                    PTM::store_range(n->val_buf.pload(), value.data(),
+                                     value.size());
+                } else {
+                    PTM::free_bytes(n->val_buf.pload());
+                    n->val_buf = alloc_string(value);
+                    n->val_len = static_cast<uint32_t>(value.size());
+                }
+                return;
+            }
+        }
+        Node* n = PTM::template tmNew<Node>();
+        n->hash = h;
+        n->key_buf = alloc_string(key);
+        n->key_len = static_cast<uint32_t>(key.size());
+        n->val_buf = alloc_string(value);
+        n->val_len = static_cast<uint32_t>(value.size());
+        n->next = slot.pload();
+        slot = n;
+        count += 1;
+        if (count.pload() > 4 * nbuckets.pload()) grow();
+    }
+
+    bool del_in_tx(std::string_view key) {
+        const uint64_t h = hash_of(key);
+        p<Node*>& slot = buckets.pload()[h % nbuckets.pload()];
+        Node* prev = nullptr;
+        for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+            if (n->hash.pload() == h && key_equals(n, key)) {
+                if (prev == nullptr) {
+                    slot = n->next.pload();
+                } else {
+                    prev->next = n->next.pload();
+                }
+                free_node(n);
+                count -= 1;
+                return true;
+            }
+            prev = n;
+        }
+        return false;
+    }
+
+    void free_node(Node* n) {
+        PTM::free_bytes(n->key_buf.pload());
+        PTM::free_bytes(n->val_buf.pload());
+        PTM::tmDelete(n);
+    }
+
+    void grow() {
+        const uint64_t nb = nbuckets.pload();
+        const uint64_t new_nb = nb * 2;
+        p<Node*>* old = buckets.pload();
+        p<Node*>* fresh = alloc_buckets(new_nb);
+        for (uint64_t i = 0; i < nb; ++i) {
+            Node* n = old[i].pload();
+            while (n != nullptr) {
+                Node* nx = n->next.pload();
+                p<Node*>& slot = fresh[n->hash.pload() % new_nb];
+                n->next = slot.pload();
+                slot = n;
+                n = nx;
+            }
+        }
+        PTM::free_bytes(old);
+        buckets = fresh;
+        nbuckets = new_nb;
+    }
+
+    p<p<Node*>*> buckets;
+    p<uint64_t> nbuckets;
+    p<uint64_t> count;
+};
+
+}  // namespace romulus::db

@@ -1,0 +1,77 @@
+// RomulusDB (§6.4): the paper's persistent key-value store — KVStore wrapped
+// over RomulusLog with a LevelDB-flavoured open/close lifecycle.
+//
+// "We used RomulusLog to wrap a hash map and implement the same interface as
+// the popular LevelDB database."  Every update is a durable transaction; the
+// WriteOptions::sync flag LevelDB needs for durability is therefore
+// meaningless here (accepted for API compatibility, always behaves as true).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/romulus.hpp"
+#include "db/kvstore.hpp"
+
+namespace romulus::db {
+
+struct WriteOptions {
+    bool sync = false;  ///< accepted for LevelDB parity; RomulusDB is always durable
+};
+
+class RomulusDB {
+  public:
+    using Store = KVStore<RomulusLog>;
+    static constexpr int kRootIdx = 63;  // reserved root slot for the store
+
+    /// Open (and create if needed) the database backed by `heap_file`.
+    /// Exactly one RomulusDB may be open per process (RomulusLog is a
+    /// process-wide engine).
+    static std::unique_ptr<RomulusDB> open(const std::string& heap_file,
+                                           size_t heap_bytes = 0) {
+        if (!RomulusLog::initialized()) RomulusLog::init(heap_bytes, heap_file);
+        auto db = std::unique_ptr<RomulusDB>(new RomulusDB());
+        db->store_ = RomulusLog::get_object<Store>(kRootIdx);
+        if (db->store_ == nullptr) {
+            RomulusLog::updateTx([&] {
+                db->store_ = RomulusLog::tmNew<Store>();
+                RomulusLog::put_object(kRootIdx, db->store_);
+            });
+        }
+        return db;
+    }
+
+    ~RomulusDB() {
+        if (RomulusLog::initialized()) RomulusLog::close();
+    }
+
+    void put(const WriteOptions&, std::string_view key, std::string_view value) {
+        store_->put(key, value);
+    }
+    bool get(std::string_view key, std::string* value_out) const {
+        return store_->get(key, value_out);
+    }
+    bool del(const WriteOptions&, std::string_view key) {
+        return store_->del(key);
+    }
+    void write(const WriteOptions&, const WriteBatch& batch) {
+        store_->write(batch);
+    }
+    uint64_t size() const { return store_->size(); }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        store_->for_each(std::forward<F>(f));
+    }
+    template <typename F>
+    void for_each_reverse(F&& f) const {
+        store_->for_each_reverse(std::forward<F>(f));
+    }
+
+  private:
+    RomulusDB() = default;
+    Store* store_ = nullptr;
+};
+
+}  // namespace romulus::db

@@ -1,0 +1,82 @@
+// WalDB: the LevelDB stand-in used by the Fig. 8 benchmark (DESIGN.md §1).
+//
+// LevelDB's durability model — the part of its behaviour Fig. 8 actually
+// exercises — is: updates go to an in-memory table plus an append-only log
+// file; the log is fdatasync'ed only every ~1000 kB (buffered durability)
+// unless WriteOptions.sync asks for a sync per write.  WalDB reproduces that
+// model: std::map memtable + WAL with batched fdatasync, plus an optional
+// emulated per-fsync latency so that results on tmpfs/SSD still show the
+// cost structure of the paper's disk-backed LevelDB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+namespace romulus::db {
+
+struct WalDbOptions {
+    /// fdatasync the log every this many bytes (LevelDB-like buffered
+    /// durability).  Ignored for writes with sync=true.
+    size_t sync_interval_bytes = 1000 * 1024;
+    /// Added busy-wait per fdatasync, emulating a storage device.  The
+    /// reproduction default (100 us) approximates a fast disk; set 0 to
+    /// measure the raw filesystem.
+    uint64_t fsync_latency_ns = 100 * 1000;
+    /// Emulated device write bandwidth applied to synced bytes (the paper's
+    /// LevelDB wrote to a real disk; on tmpfs the transfer cost must be
+    /// modelled or 100 kB appends are unrealistically free).  0 disables.
+    uint64_t write_bandwidth_bps = 200ull * 1024 * 1024;  // ~200 MB/s
+};
+
+class WalDB {
+  public:
+    WalDB(const std::string& wal_path, WalDbOptions opts = {});
+    ~WalDB();
+
+    /// Insert/overwrite.  With sync=true the WAL is fdatasync'ed before
+    /// returning (durable write, LevelDB's WriteOptions.sync).
+    void put(const std::string& key, const std::string& value, bool sync = false);
+    bool get(const std::string& key, std::string* value) const;
+    void del(const std::string& key, bool sync = false);
+
+    /// Ordered iteration (readseq / readreverse).
+    template <typename F>
+    void for_each(F&& f) const {
+        std::shared_lock lk(mu_);
+        for (const auto& [k, v] : table_) f(k, v);
+    }
+    template <typename F>
+    void for_each_reverse(F&& f) const {
+        std::shared_lock lk(mu_);
+        for (auto it = table_.rbegin(); it != table_.rend(); ++it)
+            f(it->first, it->second);
+    }
+
+    size_t size() const;
+    uint64_t fdatasync_count() const { return sync_count_; }
+
+    /// Delete the table and the WAL file (tests/benches cleanup).  Without
+    /// this, a reopened WalDB replays its log — LevelDB-style recovery.
+    void destroy();
+
+  private:
+    void append_wal(char op, const std::string& key, const std::string& value,
+                    bool sync);
+    void maybe_sync(bool force);
+    void replay();
+
+    mutable std::shared_mutex mu_;
+    std::map<std::string, std::string> table_;
+    int wal_fd_ = -1;
+    std::string wal_path_;
+    WalDbOptions opts_;
+    size_t unsynced_bytes_ = 0;
+    uint64_t sync_count_ = 0;
+    uint64_t bytes_since_sync_ = 0;
+};
+
+}  // namespace romulus::db

@@ -1,0 +1,165 @@
+// Persistent fixed-capacity hash map with byte-array values — the
+// "statically-dimensioned hash map with 2,048 buckets" built for Fig. 5
+// (§6.2), which also sweeps the *value size* (8..1024 bytes), exercising the
+// PTMs' bulk-store paths.  No resizing and no shared counter on the update
+// path, so disjoint updates really are disjoint (this is what lets the
+// abort-based baseline scale again in Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename K>
+class FixedHashMap {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+  public:
+    struct Node {
+        p<K> key;
+        p<Node*> next;
+        p<uint32_t> vsize;
+        // value bytes follow the node header (single allocation)
+        uint8_t* value_bytes() { return reinterpret_cast<uint8_t*>(this + 1); }
+        const uint8_t* value_bytes() const {
+            return reinterpret_cast<const uint8_t*>(this + 1);
+        }
+    };
+
+    /// Must be constructed inside a transaction.
+    explicit FixedHashMap(uint64_t num_buckets = 2048) {
+        nbuckets = num_buckets;
+        auto* b = static_cast<p<Node*>*>(
+            PTM::alloc_bytes(num_buckets * sizeof(p<Node*>)));
+        for (uint64_t i = 0; i < num_buckets; ++i) b[i] = nullptr;
+        buckets = b;
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~FixedHashMap() {
+        const uint64_t nb = nbuckets.pload();
+        p<Node*>* b = buckets.pload();
+        for (uint64_t i = 0; i < nb; ++i) {
+            Node* n = b[i].pload();
+            while (n != nullptr) {
+                Node* nx = n->next.pload();
+                PTM::free_bytes(n);
+                n = nx;
+            }
+        }
+        PTM::free_bytes(b);
+    }
+
+    /// Insert or overwrite key -> value[0..vsize).
+    void put(const K& key_, const void* value, uint32_t vsize) {
+        PTM::updateTx([&] {
+            p<Node*>& slot =
+                buckets.pload()[hash(key_) % nbuckets.pload()];
+            for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+                if (n->key.pload() == key_) {
+                    if (n->vsize.pload() == vsize) {
+                        PTM::store_range(n->value_bytes(), value, vsize);
+                        return;
+                    }
+                    remove_node(slot, n);
+                    break;
+                }
+            }
+            Node* n = static_cast<Node*>(PTM::alloc_bytes(sizeof(Node) + vsize));
+            n->key = key_;
+            n->vsize = vsize;
+            PTM::store_range(n->value_bytes(), value, vsize);
+            n->next = slot.pload();
+            slot = n;
+        });
+    }
+
+    /// Copy the value into out (caller provides >= capacity bytes); returns
+    /// the value size, or -1 if absent.
+    int64_t get(const K& key_, void* out, uint32_t capacity) const {
+        int64_t got = -1;
+        PTM::readTx([&] {
+            const Node* n = find(key_);
+            if (n == nullptr) return;
+            const uint32_t vs = n->vsize.pload();
+            if (out != nullptr && vs <= capacity)
+                std::memcpy(out, n->value_bytes(), vs);
+            got = vs;
+        });
+        return got;
+    }
+
+    bool contains(const K& key_) const {
+        bool found = false;
+        PTM::readTx([&] { found = find(key_) != nullptr; });
+        return found;
+    }
+
+    bool remove(const K& key_) {
+        bool removed = false;
+        PTM::updateTx([&] {
+            p<Node*>& slot =
+                buckets.pload()[hash(key_) % nbuckets.pload()];
+            for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+                if (n->key.pload() == key_) {
+                    remove_node(slot, n);
+                    removed = true;
+                    return;
+                }
+            }
+        });
+        return removed;
+    }
+
+    uint64_t size() const {  // O(n): no shared counter by design
+        uint64_t n = 0;
+        PTM::readTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>* b = buckets.pload();
+            for (uint64_t i = 0; i < nb; ++i)
+                for (Node* node = b[i].pload(); node != nullptr;
+                     node = node->next.pload())
+                    ++n;
+        });
+        return n;
+    }
+
+  private:
+    static uint64_t hash(const K& k) {
+        return static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    }
+
+    const Node* find(const K& key_) const {
+        p<Node*>* b = buckets.pload();
+        for (Node* n = b[hash(key_) % nbuckets.pload()].pload(); n != nullptr;
+             n = n->next.pload()) {
+            if (n->key.pload() == key_) return n;
+        }
+        return nullptr;
+    }
+
+    void remove_node(p<Node*>& slot, Node* victim) {
+        Node* prev = nullptr;
+        for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+            if (n == victim) {
+                if (prev == nullptr) {
+                    slot = n->next.pload();
+                } else {
+                    prev->next = n->next.pload();
+                }
+                PTM::free_bytes(n);
+                return;
+            }
+            prev = n;
+        }
+    }
+
+    p<p<Node*>*> buckets;
+    p<uint64_t> nbuckets;
+};
+
+}  // namespace romulus::ds

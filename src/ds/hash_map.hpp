@@ -1,0 +1,190 @@
+// Persistent resizable hash map (separate chaining), the §6.2 benchmark
+// structure.  Deliberately keeps a shared element counter that every update
+// modifies — the paper uses exactly this design point to explain why
+// abort-based STMs (Mnemosyne) collapse on it while Romulus, whose
+// transactions never abort, is unaffected (Fig. 5 discussion).
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename K>
+class HashMap {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+  public:
+    struct Node {
+        p<K> key;
+        p<Node*> next;
+        explicit Node(const K& k) {
+            key = k;
+            next = nullptr;
+        }
+    };
+
+    /// Must be constructed inside a transaction.
+    explicit HashMap(uint64_t initial_buckets = 16) {
+        nbuckets = initial_buckets;
+        count = 0;
+        buckets = alloc_buckets(initial_buckets);
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~HashMap() {
+        const uint64_t nb = nbuckets.pload();
+        p<Node*>* b = buckets.pload();
+        for (uint64_t i = 0; i < nb; ++i) {
+            Node* n = b[i].pload();
+            while (n != nullptr) {
+                Node* nx = n->next.pload();
+                PTM::tmDelete(n);
+                n = nx;
+            }
+        }
+        PTM::free_bytes(b);
+    }
+
+    bool add(const K& key_) {
+        bool added = false;
+        PTM::updateTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>& slot = buckets.pload()[hash(key_) % nb];
+            for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+                if (n->key.pload() == key_) return;  // already present
+            }
+            Node* n = PTM::template tmNew<Node>(key_);
+            n->next = slot.pload();
+            slot = n;
+            count += 1;  // the shared counter: every update writes it
+            added = true;
+            if (count.pload() > 4 * nb) grow(nb * 2);
+        });
+        return added;
+    }
+
+    bool remove(const K& key_) {
+        bool removed = false;
+        PTM::updateTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>& slot = buckets.pload()[hash(key_) % nb];
+            Node* prev = nullptr;
+            for (Node* n = slot.pload(); n != nullptr; n = n->next.pload()) {
+                if (n->key.pload() == key_) {
+                    if (prev == nullptr) {
+                        slot = n->next.pload();
+                    } else {
+                        prev->next = n->next.pload();
+                    }
+                    PTM::tmDelete(n);
+                    count -= 1;
+                    removed = true;
+                    return;
+                }
+                prev = n;
+            }
+        });
+        return removed;
+    }
+
+    bool contains(const K& key_) const {
+        bool found = false;
+        PTM::readTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>* b = buckets.pload();
+            for (Node* n = b[hash(key_) % nb].pload(); n != nullptr;
+                 n = n->next.pload()) {
+                if (n->key.pload() == key_) {
+                    found = true;
+                    return;
+                }
+            }
+        });
+        return found;
+    }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = count.pload(); });
+        return n;
+    }
+
+    uint64_t bucket_count() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = nbuckets.pload(); });
+        return n;
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        PTM::readTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>* b = buckets.pload();
+            for (uint64_t i = 0; i < nb; ++i)
+                for (Node* n = b[i].pload(); n != nullptr; n = n->next.pload())
+                    f(n->key.pload());
+        });
+    }
+
+    /// Tests: every element hashed to its bucket, counter consistent.
+    bool check_invariants() const {
+        bool ok = true;
+        PTM::readTx([&] {
+            const uint64_t nb = nbuckets.pload();
+            p<Node*>* b = buckets.pload();
+            uint64_t n = 0;
+            for (uint64_t i = 0; i < nb; ++i) {
+                for (Node* node = b[i].pload(); node != nullptr;
+                     node = node->next.pload()) {
+                    if (hash(node->key.pload()) % nb != i) {
+                        ok = false;
+                        return;
+                    }
+                    ++n;
+                }
+            }
+            if (n != count.pload()) ok = false;
+        });
+        return ok;
+    }
+
+  private:
+    static uint64_t hash(const K& k) {
+        return static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    }
+
+    static p<Node*>* alloc_buckets(uint64_t n) {
+        auto* b = static_cast<p<Node*>*>(
+            PTM::alloc_bytes(n * sizeof(p<Node*>)));
+        for (uint64_t i = 0; i < n; ++i) b[i] = nullptr;
+        return b;
+    }
+
+    void grow(uint64_t new_nb) {
+        const uint64_t nb = nbuckets.pload();
+        p<Node*>* old = buckets.pload();
+        p<Node*>* fresh = alloc_buckets(new_nb);
+        for (uint64_t i = 0; i < nb; ++i) {
+            Node* n = old[i].pload();
+            while (n != nullptr) {
+                Node* nx = n->next.pload();
+                p<Node*>& slot = fresh[hash(n->key.pload()) % new_nb];
+                n->next = slot.pload();
+                slot = n;
+                n = nx;
+            }
+        }
+        PTM::free_bytes(old);
+        buckets = fresh;
+        nbuckets = new_nb;
+    }
+
+    p<p<Node*>*> buckets;
+    p<uint64_t> nbuckets;
+    p<uint64_t> count;
+};
+
+}  // namespace romulus::ds

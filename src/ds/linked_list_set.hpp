@@ -1,0 +1,147 @@
+// Persistent sorted linked-list set — Algorithm 2 of the paper, generalised
+// over the PTM.  The benchmark data structure with the fewest stores per
+// update (§6.2: ~10 pwbs per transaction).
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename K>
+class LinkedListSet {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+  public:
+    struct Node {
+        p<K> key;   // all node attributes are persisted (Algorithm 2)
+        p<Node*> next;
+        explicit Node(const K& k) {
+            key = k;
+            next = nullptr;
+        }
+    };
+
+    /// Must be constructed inside a transaction (sentinels are allocated).
+    LinkedListSet() {
+        Node* t = PTM::template tmNew<Node>(K{});
+        Node* h = PTM::template tmNew<Node>(K{});
+        h->next = t;
+        head = h;
+        tail = t;
+        count = 0;
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~LinkedListSet() {
+        Node* n = head.pload();
+        while (n != nullptr) {
+            Node* nx = n->next.pload();
+            PTM::tmDelete(n);
+            n = nx;
+        }
+    }
+
+    bool add(const K& key_) {
+        bool added = false;
+        PTM::updateTx([&] {
+            Node *prev, *node;
+            find(key_, prev, node);
+            added = !(node != tail.pload() && key_ == node->key.pload());
+            if (!added) return;
+            Node* n = PTM::template tmNew<Node>(key_);
+            n->next = node;
+            prev->next = n;
+            count += 1;
+        });
+        return added;
+    }
+
+    bool remove(const K& key_) {
+        bool removed = false;
+        PTM::updateTx([&] {
+            Node *prev, *node;
+            find(key_, prev, node);
+            removed = (node != tail.pload() && key_ == node->key.pload());
+            if (!removed) return;
+            prev->next = node->next.pload();
+            PTM::tmDelete(node);
+            count -= 1;
+        });
+        return removed;
+    }
+
+    bool contains(const K& key_) const {
+        bool found = false;
+        PTM::readTx([&] {
+            Node *prev, *node;
+            find(key_, prev, node);
+            found = (node != tail_value() && node->key.pload() == key_);
+        });
+        return found;
+    }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = count.pload(); });
+        return n;
+    }
+
+    /// Read-only traversal: f(key) for each element in sorted order.
+    template <typename F>
+    void for_each(F&& f) const {
+        PTM::readTx([&] {
+            Node* t = tail_value();
+            for (Node* n = head.pload()->next.pload(); n != t;
+                 n = n->next.pload())
+                f(n->key.pload());
+        });
+    }
+
+    /// Structural invariant check (tests): strictly sorted, count matches.
+    bool check_invariants() const {
+        bool ok = true;
+        PTM::readTx([&] {
+            uint64_t n = 0;
+            Node* t = tail_value();
+            Node* prev = nullptr;
+            for (Node* cur = head.pload()->next.pload(); cur != t;
+                 cur = cur->next.pload()) {
+                if (prev != nullptr &&
+                    !(prev->key.pload() < cur->key.pload())) {
+                    ok = false;
+                    return;
+                }
+                prev = cur;
+                ++n;
+            }
+            if (n != count.pload()) ok = false;
+        });
+        return ok;
+    }
+
+  private:
+    // Paper's find (Algorithm 2): on exit, prev->next == node and node is the
+    // first element with node->key >= key (or tail).
+    void find(const K& key_, Node*& prev, Node*& node) const {
+        Node* t = tail_value();
+        for (prev = head.pload(); (node = prev->next.pload()) != t;
+             prev = node) {
+            if (node->key.pload() >= key_) break;
+        }
+    }
+
+    // tail is a sentinel *identity*: under RomulusLR a reader on the back
+    // region sees the tail pointer already offset by pload(), and node
+    // pointers reached by traversal are offset the same way, so comparing
+    // the two pload() results is consistent in either region.
+    Node* tail_value() const { return tail.pload(); }
+
+    p<Node*> head;
+    p<Node*> tail;
+    p<uint64_t> count;
+};
+
+}  // namespace romulus::ds

@@ -1,0 +1,123 @@
+// Persistent FIFO queue, templated on the PTM.
+//
+// Extension structure: the canonical producer/consumer shape for durable
+// work queues ("the job survives the crash").  Singly-linked list with a
+// dummy head node, as in Michael-Scott, but sequential — concurrency comes
+// from the PTM's transactions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename T>
+class PQueue {
+    template <typename U>
+    using p = typename PTM::template p<U>;
+
+  public:
+    struct Node {
+        p<T> value;
+        p<Node*> next;
+    };
+
+    /// Must be constructed inside a transaction.
+    PQueue() {
+        Node* dummy = PTM::template tmNew<Node>();
+        dummy->next = nullptr;
+        head = dummy;
+        tail = dummy;
+        count = 0;
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~PQueue() {
+        Node* n = head.pload();
+        while (n != nullptr) {
+            Node* nx = n->next.pload();
+            PTM::tmDelete(n);
+            n = nx;
+        }
+    }
+
+    void enqueue(const T& v) {
+        PTM::updateTx([&] {
+            Node* n = PTM::template tmNew<Node>();
+            n->value = v;
+            n->next = nullptr;
+            tail.pload()->next = n;
+            tail = n;
+            count += 1;
+        });
+    }
+
+    /// Dequeue the oldest element; empty optional if the queue is empty.
+    std::optional<T> dequeue() {
+        std::optional<T> out;
+        PTM::updateTx([&] {
+            Node* dummy = head.pload();
+            Node* first = dummy->next.pload();
+            if (first == nullptr) return;
+            out = first->value.pload();
+            head = first;  // first becomes the new dummy
+            if (tail.pload() == first) {
+                // single-element case handled naturally: tail stays on first
+            }
+            PTM::tmDelete(dummy);
+            count -= 1;
+        });
+        return out;
+    }
+
+    /// Peek without removing.
+    std::optional<T> front() const {
+        std::optional<T> out;
+        PTM::readTx([&] {
+            Node* first = head.pload()->next.pload();
+            if (first != nullptr) out = first->value.pload();
+        });
+        return out;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = count.pload(); });
+        return n;
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {  // front to back
+        PTM::readTx([&] {
+            for (Node* n = head.pload()->next.pload(); n != nullptr;
+                 n = n->next.pload())
+                f(n->value.pload());
+        });
+    }
+
+    bool check_invariants() const {
+        bool ok = true;
+        PTM::readTx([&] {
+            uint64_t n = 0;
+            Node* last = head.pload();
+            for (Node* cur = last->next.pload(); cur != nullptr;
+                 cur = cur->next.pload()) {
+                last = cur;
+                ++n;
+            }
+            if (last != tail.pload() || n != count.pload()) ok = false;
+        });
+        return ok;
+    }
+
+  private:
+    p<Node*> head;  ///< dummy node; head->next is the front
+    p<Node*> tail;  ///< last node (== head when empty)
+    p<uint64_t> count;
+};
+
+}  // namespace romulus::ds

@@ -1,0 +1,112 @@
+// Persistent dynamic array, templated on the PTM.
+//
+// Extension structure: contiguous storage with amortised-O(1) durable
+// push_back.  Growth allocates a new backing array, copies through the
+// interposition layer (so the copy is part of the transaction and replays
+// into back), and frees the old one — all failure-atomic.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename T>
+class PVector {
+    template <typename U>
+    using p = typename PTM::template p<U>;
+
+  public:
+    /// Must be constructed inside a transaction.
+    explicit PVector(uint64_t initial_capacity = 8) {
+        cap = initial_capacity;
+        len = 0;
+        data = alloc_array(initial_capacity);
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~PVector() { PTM::free_bytes(data.pload()); }
+
+    void push_back(const T& v) {
+        PTM::updateTx([&] {
+            if (len.pload() == cap.pload()) grow();
+            data.pload()[len.pload()] = v;
+            len += 1;
+        });
+    }
+
+    /// Remove and return the last element; throws std::out_of_range when
+    /// empty.
+    T pop_back() {
+        T out{};
+        PTM::updateTx([&] {
+            const uint64_t n = len.pload();
+            if (n == 0) throw std::out_of_range("PVector::pop_back: empty");
+            out = data.pload()[n - 1].pload();
+            len -= 1;
+        });
+        return out;
+    }
+
+    T get(uint64_t idx) const {
+        T out{};
+        PTM::readTx([&] {
+            if (idx >= len.pload()) throw std::out_of_range("PVector::get");
+            out = data.pload()[idx].pload();
+        });
+        return out;
+    }
+
+    void set(uint64_t idx, const T& v) {
+        PTM::updateTx([&] {
+            if (idx >= len.pload()) throw std::out_of_range("PVector::set");
+            data.pload()[idx] = v;
+        });
+    }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = len.pload(); });
+        return n;
+    }
+
+    uint64_t capacity() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = cap.pload(); });
+        return n;
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        PTM::readTx([&] {
+            const uint64_t n = len.pload();
+            p<T>* d = data.pload();
+            for (uint64_t i = 0; i < n; ++i) f(d[i].pload());
+        });
+    }
+
+  private:
+    static p<T>* alloc_array(uint64_t n) {
+        return static_cast<p<T>*>(PTM::alloc_bytes(n * sizeof(p<T>)));
+    }
+
+    void grow() {
+        const uint64_t old_cap = cap.pload();
+        const uint64_t new_cap = old_cap * 2;
+        p<T>* old = data.pload();
+        p<T>* fresh = alloc_array(new_cap);
+        const uint64_t n = len.pload();
+        for (uint64_t i = 0; i < n; ++i) fresh[i] = old[i].pload();
+        PTM::free_bytes(old);
+        data = fresh;
+        cap = new_cap;
+    }
+
+    p<p<T>*> data;
+    p<uint64_t> len;
+    p<uint64_t> cap;
+};
+
+}  // namespace romulus::ds

@@ -1,0 +1,366 @@
+// Persistent red-black tree set (CLRS-style, with a nil sentinel), the
+// third §6.2 benchmark structure — the one with the most stores per update
+// (§6.2 measures pwb peaks at ~50 and ~130 per transaction, dominated by
+// rebalancing and the allocator).
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename K>
+class RBTree {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+    static constexpr uint8_t kRed = 0;
+    static constexpr uint8_t kBlack = 1;
+
+  public:
+    struct Node {
+        p<K> key;
+        p<Node*> left;
+        p<Node*> right;
+        p<Node*> parent;
+        p<uint8_t> color;
+    };
+
+    /// Must be constructed inside a transaction.
+    RBTree() {
+        Node* n = PTM::template tmNew<Node>();
+        n->key = K{};
+        n->left = n;
+        n->right = n;
+        n->parent = n;
+        n->color = kBlack;
+        nil = n;
+        root = n;
+        count = 0;
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~RBTree() {
+        free_subtree(root.pload(), nil.pload());
+        PTM::tmDelete(nil.pload());
+    }
+
+    bool add(const K& key_) {
+        bool added = false;
+        PTM::updateTx([&] {
+            Node* NIL = nil.pload();
+            Node* y = NIL;
+            Node* x = root.pload();
+            while (x != NIL) {
+                y = x;
+                const K xk = x->key.pload();
+                if (key_ == xk) return;  // already present
+                x = (key_ < xk) ? x->left.pload() : x->right.pload();
+            }
+            Node* z = PTM::template tmNew<Node>();
+            z->key = key_;
+            z->left = NIL;
+            z->right = NIL;
+            z->parent = y;
+            z->color = kRed;
+            if (y == NIL) {
+                root = z;
+            } else if (key_ < y->key.pload()) {
+                y->left = z;
+            } else {
+                y->right = z;
+            }
+            insert_fixup(z);
+            count += 1;
+            added = true;
+        });
+        return added;
+    }
+
+    bool remove(const K& key_) {
+        bool removed = false;
+        PTM::updateTx([&] {
+            Node* z = find_node(key_);
+            if (z == nil.pload()) return;
+            delete_node(z);
+            count -= 1;
+            removed = true;
+        });
+        return removed;
+    }
+
+    bool contains(const K& key_) const {
+        bool found = false;
+        PTM::readTx([&] { found = find_node(key_) != nil.pload(); });
+        return found;
+    }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = count.pload(); });
+        return n;
+    }
+
+    /// In-order traversal: f(key) in ascending order.
+    template <typename F>
+    void for_each(F&& f) const {
+        PTM::readTx([&] { inorder(root.pload(), nil.pload(), f); });
+    }
+
+    /// Tests: BST order, red-red violations, black-height balance, count.
+    bool check_invariants() const {
+        bool ok = true;
+        PTM::readTx([&] {
+            Node* NIL = nil.pload();
+            Node* r = root.pload();
+            if (r != NIL && r->color.pload() != kBlack) {
+                ok = false;
+                return;
+            }
+            uint64_t n = 0;
+            int bh = check_subtree(r, NIL, n);
+            if (bh < 0 || n != count.pload()) ok = false;
+        });
+        return ok;
+    }
+
+  private:
+    Node* find_node(const K& key_) const {
+        Node* NIL = nil.pload();
+        Node* x = root.pload();
+        while (x != NIL) {
+            const K xk = x->key.pload();
+            if (key_ == xk) return x;
+            x = (key_ < xk) ? x->left.pload() : x->right.pload();
+        }
+        return NIL;
+    }
+
+    void left_rotate(Node* x) {
+        Node* NIL = nil.pload();
+        Node* y = x->right.pload();
+        x->right = y->left.pload();
+        if (y->left.pload() != NIL) y->left.pload()->parent = x;
+        y->parent = x->parent.pload();
+        Node* xp = x->parent.pload();
+        if (xp == NIL) {
+            root = y;
+        } else if (x == xp->left.pload()) {
+            xp->left = y;
+        } else {
+            xp->right = y;
+        }
+        y->left = x;
+        x->parent = y;
+    }
+
+    void right_rotate(Node* x) {
+        Node* NIL = nil.pload();
+        Node* y = x->left.pload();
+        x->left = y->right.pload();
+        if (y->right.pload() != NIL) y->right.pload()->parent = x;
+        y->parent = x->parent.pload();
+        Node* xp = x->parent.pload();
+        if (xp == NIL) {
+            root = y;
+        } else if (x == xp->right.pload()) {
+            xp->right = y;
+        } else {
+            xp->left = y;
+        }
+        y->right = x;
+        x->parent = y;
+    }
+
+    void insert_fixup(Node* z) {
+        while (z->parent.pload()->color.pload() == kRed) {
+            Node* zp = z->parent.pload();
+            Node* zpp = zp->parent.pload();
+            if (zp == zpp->left.pload()) {
+                Node* y = zpp->right.pload();
+                if (y->color.pload() == kRed) {
+                    zp->color = kBlack;
+                    y->color = kBlack;
+                    zpp->color = kRed;
+                    z = zpp;
+                } else {
+                    if (z == zp->right.pload()) {
+                        z = zp;
+                        left_rotate(z);
+                        zp = z->parent.pload();
+                        zpp = zp->parent.pload();
+                    }
+                    zp->color = kBlack;
+                    zpp->color = kRed;
+                    right_rotate(zpp);
+                }
+            } else {
+                Node* y = zpp->left.pload();
+                if (y->color.pload() == kRed) {
+                    zp->color = kBlack;
+                    y->color = kBlack;
+                    zpp->color = kRed;
+                    z = zpp;
+                } else {
+                    if (z == zp->left.pload()) {
+                        z = zp;
+                        right_rotate(z);
+                        zp = z->parent.pload();
+                        zpp = zp->parent.pload();
+                    }
+                    zp->color = kBlack;
+                    zpp->color = kRed;
+                    left_rotate(zpp);
+                }
+            }
+        }
+        root.pload()->color = kBlack;
+    }
+
+    void transplant(Node* u, Node* v) {
+        Node* NIL = nil.pload();
+        Node* up = u->parent.pload();
+        if (up == NIL) {
+            root = v;
+        } else if (u == up->left.pload()) {
+            up->left = v;
+        } else {
+            up->right = v;
+        }
+        v->parent = up;  // CLRS: nil's parent is set deliberately
+    }
+
+    Node* minimum(Node* x) const {
+        Node* NIL = nil.pload();
+        while (x->left.pload() != NIL) x = x->left.pload();
+        return x;
+    }
+
+    void delete_node(Node* z) {
+        Node* NIL = nil.pload();
+        Node* y = z;
+        uint8_t y_orig = y->color.pload();
+        Node* x;
+        if (z->left.pload() == NIL) {
+            x = z->right.pload();
+            transplant(z, x);
+        } else if (z->right.pload() == NIL) {
+            x = z->left.pload();
+            transplant(z, x);
+        } else {
+            y = minimum(z->right.pload());
+            y_orig = y->color.pload();
+            x = y->right.pload();
+            if (y->parent.pload() == z) {
+                x->parent = y;
+            } else {
+                transplant(y, x);
+                y->right = z->right.pload();
+                y->right.pload()->parent = y;
+            }
+            transplant(z, y);
+            y->left = z->left.pload();
+            y->left.pload()->parent = y;
+            y->color = z->color.pload();
+        }
+        PTM::tmDelete(z);
+        if (y_orig == kBlack) delete_fixup(x);
+    }
+
+    void delete_fixup(Node* x) {
+        while (x != root.pload() && x->color.pload() == kBlack) {
+            Node* xp = x->parent.pload();
+            if (x == xp->left.pload()) {
+                Node* w = xp->right.pload();
+                if (w->color.pload() == kRed) {
+                    w->color = kBlack;
+                    xp->color = kRed;
+                    left_rotate(xp);
+                    w = xp->right.pload();
+                }
+                if (w->left.pload()->color.pload() == kBlack &&
+                    w->right.pload()->color.pload() == kBlack) {
+                    w->color = kRed;
+                    x = xp;
+                } else {
+                    if (w->right.pload()->color.pload() == kBlack) {
+                        w->left.pload()->color = kBlack;
+                        w->color = kRed;
+                        right_rotate(w);
+                        w = xp->right.pload();
+                    }
+                    w->color = xp->color.pload();
+                    xp->color = kBlack;
+                    w->right.pload()->color = kBlack;
+                    left_rotate(xp);
+                    x = root.pload();
+                }
+            } else {
+                Node* w = xp->left.pload();
+                if (w->color.pload() == kRed) {
+                    w->color = kBlack;
+                    xp->color = kRed;
+                    right_rotate(xp);
+                    w = xp->left.pload();
+                }
+                if (w->right.pload()->color.pload() == kBlack &&
+                    w->left.pload()->color.pload() == kBlack) {
+                    w->color = kRed;
+                    x = xp;
+                } else {
+                    if (w->left.pload()->color.pload() == kBlack) {
+                        w->right.pload()->color = kBlack;
+                        w->color = kRed;
+                        left_rotate(w);
+                        w = xp->left.pload();
+                    }
+                    w->color = xp->color.pload();
+                    xp->color = kBlack;
+                    w->left.pload()->color = kBlack;
+                    right_rotate(xp);
+                    x = root.pload();
+                }
+            }
+        }
+        x->color = kBlack;
+    }
+
+    template <typename F>
+    void inorder(Node* x, Node* NIL, F&& f) const {
+        if (x == NIL) return;
+        inorder(x->left.pload(), NIL, f);
+        f(x->key.pload());
+        inorder(x->right.pload(), NIL, f);
+    }
+
+    /// Returns black-height or -1 on violation; counts nodes into n.
+    int check_subtree(Node* x, Node* NIL, uint64_t& n) const {
+        if (x == NIL) return 1;
+        ++n;
+        Node* l = x->left.pload();
+        Node* r = x->right.pload();
+        if (l != NIL && !(l->key.pload() < x->key.pload())) return -1;
+        if (r != NIL && !(x->key.pload() < r->key.pload())) return -1;
+        if (x->color.pload() == kRed &&
+            (l->color.pload() == kRed || r->color.pload() == kRed))
+            return -1;
+        int lb = check_subtree(l, NIL, n);
+        int rb = check_subtree(r, NIL, n);
+        if (lb < 0 || rb < 0 || lb != rb) return -1;
+        return lb + (x->color.pload() == kBlack ? 1 : 0);
+    }
+
+    void free_subtree(Node* x, Node* NIL) {
+        if (x == NIL) return;
+        free_subtree(x->left.pload(), NIL);
+        free_subtree(x->right.pload(), NIL);
+        PTM::tmDelete(x);
+    }
+
+    p<Node*> root;
+    p<Node*> nil;
+    p<uint64_t> count;
+};
+
+}  // namespace romulus::ds

@@ -1,0 +1,204 @@
+// Persistent skip-list set, templated on the PTM.
+//
+// Extension beyond the paper's three benchmark structures: an ordered set
+// with O(log n) expected operations, demonstrating variable-size nodes
+// (the tower is co-allocated with the node) on the persistent allocator.
+// Tower heights are derived deterministically from the key hash, so no RNG
+// state needs to be persisted and recovery never changes the structure's
+// shape.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine_globals.hpp"
+
+namespace romulus::ds {
+
+template <typename PTM, typename K>
+class SkipListSet {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+  public:
+    static constexpr int kMaxLevel = 16;
+
+    struct Node {
+        p<K> key;
+        p<uint8_t> height;
+        // tower of `height` forward pointers follows the node
+        p<Node*>* tower() { return reinterpret_cast<p<Node*>*>(this + 1); }
+        const p<Node*>* tower() const {
+            return reinterpret_cast<const p<Node*>*>(this + 1);
+        }
+    };
+
+    /// Must be constructed inside a transaction.
+    SkipListSet() {
+        Node* h = alloc_node(K{}, kMaxLevel);
+        for (int i = 0; i < kMaxLevel; ++i) h->tower()[i] = nullptr;
+        head = h;
+        count = 0;
+    }
+
+    /// Must be destroyed inside a transaction.
+    ~SkipListSet() {
+        Node* n = head.pload();
+        while (n != nullptr) {
+            Node* nx = n->tower()[0].pload();
+            PTM::free_bytes(n);
+            n = nx;
+        }
+    }
+
+    bool add(const K& key_) {
+        bool added = false;
+        PTM::updateTx([&] {
+            Node* preds[kMaxLevel];
+            Node* found = find_preds(key_, preds);
+            if (found != nullptr) return;
+            const int h = height_of(key_);
+            Node* n = alloc_node(key_, h);
+            for (int i = 0; i < h; ++i) {
+                n->tower()[i] = preds[i]->tower()[i].pload();
+                preds[i]->tower()[i] = n;
+            }
+            count += 1;
+            added = true;
+        });
+        return added;
+    }
+
+    bool remove(const K& key_) {
+        bool removed = false;
+        PTM::updateTx([&] {
+            Node* preds[kMaxLevel];
+            Node* victim = find_preds(key_, preds);
+            if (victim == nullptr) return;
+            const int h = victim->height.pload();
+            for (int i = 0; i < h; ++i) {
+                if (preds[i]->tower()[i].pload() == victim)
+                    preds[i]->tower()[i] = victim->tower()[i].pload();
+            }
+            PTM::free_bytes(victim);
+            count -= 1;
+            removed = true;
+        });
+        return removed;
+    }
+
+    bool contains(const K& key_) const {
+        bool found = false;
+        PTM::readTx([&] {
+            const Node* n = head.pload();
+            for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+                for (Node* nx = n->tower()[lvl].pload();
+                     nx != nullptr && nx->key.pload() < key_;
+                     nx = n->tower()[lvl].pload()) {
+                    n = nx;
+                }
+            }
+            const Node* cand = n->tower()[0].pload();
+            found = cand != nullptr && cand->key.pload() == key_;
+        });
+        return found;
+    }
+
+    uint64_t size() const {
+        uint64_t n = 0;
+        PTM::readTx([&] { n = count.pload(); });
+        return n;
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        PTM::readTx([&] {
+            for (Node* n = head.pload()->tower()[0].pload(); n != nullptr;
+                 n = n->tower()[0].pload())
+                f(n->key.pload());
+        });
+    }
+
+    /// Tests: sorted bottom level, every tower link skips forward, count.
+    bool check_invariants() const {
+        bool ok = true;
+        PTM::readTx([&] {
+            uint64_t n = 0;
+            Node* prev = nullptr;
+            for (Node* cur = head.pload()->tower()[0].pload(); cur != nullptr;
+                 cur = cur->tower()[0].pload()) {
+                if (prev != nullptr && !(prev->key.pload() < cur->key.pload())) {
+                    ok = false;
+                    return;
+                }
+                prev = cur;
+                ++n;
+            }
+            if (n != count.pload()) {
+                ok = false;
+                return;
+            }
+            // Each upper-level list must be a subsequence of level 0.
+            for (int lvl = 1; lvl < kMaxLevel; ++lvl) {
+                K last{};
+                bool first = true;
+                for (Node* cur = head.pload()->tower()[lvl].pload();
+                     cur != nullptr; cur = cur->tower()[lvl].pload()) {
+                    if (cur->height.pload() <= lvl) {
+                        ok = false;
+                        return;
+                    }
+                    if (!first && !(last < cur->key.pload())) {
+                        ok = false;
+                        return;
+                    }
+                    last = cur->key.pload();
+                    first = false;
+                }
+            }
+        });
+        return ok;
+    }
+
+  private:
+    static Node* alloc_node(const K& key_, int height_) {
+        Node* n = static_cast<Node*>(
+            PTM::alloc_bytes(sizeof(Node) + sizeof(p<Node*>) * height_));
+        n->key = key_;
+        n->height = static_cast<uint8_t>(height_);
+        for (int i = 0; i < height_; ++i) n->tower()[i] = nullptr;
+        return n;
+    }
+
+    /// Deterministic tower height: geometric distribution over the key hash.
+    static int height_of(const K& key_) {
+        uint64_t h = static_cast<uint64_t>(key_) * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 29;
+        int lvl = 1;
+        while ((h & 3) == 3 && lvl < kMaxLevel) {  // p = 1/4 per level
+            ++lvl;
+            h >>= 2;
+        }
+        return lvl;
+    }
+
+    /// Fills preds[0..kMaxLevel) with the rightmost node < key per level;
+    /// returns the node with the key, or nullptr.
+    Node* find_preds(const K& key_, Node** preds) const {
+        Node* n = head.pload();
+        for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+            for (Node* nx = n->tower()[lvl].pload();
+                 nx != nullptr && nx->key.pload() < key_;
+                 nx = n->tower()[lvl].pload()) {
+                n = nx;
+            }
+            preds[lvl] = n;
+        }
+        Node* cand = n->tower()[0].pload();
+        return (cand != nullptr && cand->key.pload() == key_) ? cand : nullptr;
+    }
+
+    p<Node*> head;
+    p<uint64_t> count;
+};
+
+}  // namespace romulus::ds

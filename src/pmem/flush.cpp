@@ -1,0 +1,157 @@
+#include "pmem/flush.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <emmintrin.h>  // _mm_clflush, _mm_sfence
+#define ROMULUS_X86 1
+#endif
+
+namespace romulus::pmem {
+
+namespace detail {
+ProfileState g_profile{};
+SimHooks* g_sim_hooks = nullptr;
+}  // namespace detail
+
+#ifdef ROMULUS_X86
+static bool cpuid7_bit(unsigned bit) {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+    return (ebx >> bit) & 1u;
+}
+bool cpu_has_clflushopt() {
+    static const bool v = cpuid7_bit(23);
+    return v;
+}
+bool cpu_has_clwb() {
+    static const bool v = cpuid7_bit(24);
+    return v;
+}
+
+__attribute__((target("clflushopt"))) static void do_clflushopt(const void* p) {
+    __builtin_ia32_clflushopt(const_cast<void*>(p));
+}
+__attribute__((target("clwb"))) static void do_clwb(const void* p) {
+    __builtin_ia32_clwb(const_cast<void*>(p));
+}
+#else
+bool cpu_has_clflushopt() { return false; }
+bool cpu_has_clwb() { return false; }
+#endif
+
+void set_profile(Profile p) {
+    auto& st = detail::g_profile;
+    st.requested = p;
+    st.effective = p;
+    st.pwb_delay_ns = 0;
+    st.fence_delay_ns = 0;
+    switch (p) {
+        case Profile::CLWB:
+            if (!cpu_has_clwb())
+                st.effective = cpu_has_clflushopt() ? Profile::CLFLUSHOPT
+                                                    : Profile::CLFLUSH;
+            break;
+        case Profile::CLFLUSHOPT:
+            if (!cpu_has_clflushopt()) st.effective = Profile::CLFLUSH;
+            break;
+        case Profile::STT:  // §6.1: 140 ns per pwb, 200 ns per fence
+            st.pwb_delay_ns = 140;
+            st.fence_delay_ns = 200;
+            break;
+        case Profile::PCM:  // §6.1: 340 ns per pwb, 500 ns per fence
+            st.pwb_delay_ns = 340;
+            st.fence_delay_ns = 500;
+            break;
+        default:
+            break;
+    }
+#ifndef ROMULUS_X86
+    if (st.effective == Profile::CLFLUSH || st.effective == Profile::CLFLUSHOPT ||
+        st.effective == Profile::CLWB)
+        st.effective = Profile::NOP;  // non-x86: no flush instructions wired up
+#endif
+}
+
+Profile profile() { return detail::g_profile.requested; }
+Profile effective_profile() { return detail::g_profile.effective; }
+
+const char* profile_name(Profile p) {
+    switch (p) {
+        case Profile::NOP: return "nop";
+        case Profile::CLFLUSH: return "clflush";
+        case Profile::CLFLUSHOPT: return "clflushopt+sfence";
+        case Profile::CLWB: return "clwb+sfence";
+        case Profile::STT: return "STT(140+200ns)";
+        case Profile::PCM: return "PCM(340+500ns)";
+    }
+    return "?";
+}
+
+void set_sim_hooks(SimHooks* hooks) { detail::g_sim_hooks = hooks; }
+SimHooks* sim_hooks() { return detail::g_sim_hooks; }
+
+namespace detail {
+
+// Busy-wait delay used by the STT/PCM emulation.  Mirrors the paper's
+// methodology (§6.1: "delays are measured using rdtsc"): short spins, no
+// syscalls, so the injected latency is additive to the instruction stream.
+void delay_ns(uint64_t ns) {
+    if (ns == 0) return;
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::nanoseconds(ns);
+    while (std::chrono::steady_clock::now() < deadline) {
+#ifdef ROMULUS_X86
+        _mm_pause();
+#endif
+    }
+}
+
+void pwb_line_slow(const void* addr) {
+    switch (g_profile.effective) {
+        case Profile::NOP:
+            break;
+#ifdef ROMULUS_X86
+        case Profile::CLFLUSH:
+            _mm_clflush(addr);
+            break;
+        case Profile::CLFLUSHOPT:
+            do_clflushopt(addr);
+            break;
+        case Profile::CLWB:
+            do_clwb(addr);
+            break;
+#endif
+        case Profile::STT:
+        case Profile::PCM:
+            delay_ns(g_profile.pwb_delay_ns);
+            break;
+        default:
+            break;
+    }
+}
+
+void fence_slow() {
+    switch (g_profile.effective) {
+        case Profile::NOP:
+        case Profile::CLFLUSH:  // CLFLUSH self-orders; fences map to nop (§6.1)
+            break;
+#ifdef ROMULUS_X86
+        case Profile::CLFLUSHOPT:
+        case Profile::CLWB:
+            _mm_sfence();
+            break;
+#endif
+        case Profile::STT:
+        case Profile::PCM:
+            delay_ns(g_profile.fence_delay_ns);
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace detail
+}  // namespace romulus::pmem

@@ -1,0 +1,118 @@
+// Persistence primitives: pwb / pfence / psync (§4.1 of the paper).
+//
+// The paper's model uses three instructions:
+//   pwb(addr) — initiate write-back of a cache line (non-blocking),
+//   pfence()  — order preceding pwbs before subsequent ones,
+//   psync()   — block until preceding pwbs are persistent.
+//
+// On x86 these map to (per the paper's table in §4.1 and Fig. 9):
+//   profile CLFLUSH     : pwb=CLFLUSH,    fences=nop (CLFLUSH self-orders)
+//   profile CLFLUSHOPT  : pwb=CLFLUSHOPT, fences=SFENCE
+//   profile CLWB        : pwb=CLWB,       fences=SFENCE
+//   profile STT / PCM   : busy-wait delays emulating STT-RAM / PCM latencies
+//                         (140/200/200 ns and 340/500/500 ns, §6.1)
+//   profile NOP         : everything is a no-op (DRAM-speed baseline)
+//
+// The active profile is a process-global selected at runtime so that a single
+// benchmark binary can sweep all the fence types of Fig. 9.  The primitives
+// also drive the per-thread Stats counters and, when installed, the SimHooks
+// used by the crash-injection test model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pmem/stats.hpp"
+
+namespace romulus::pmem {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+enum class Profile : int {
+    NOP = 0,     ///< no flushing at all (volatile baseline / unit tests)
+    CLFLUSH,     ///< pwb=clflush, fences=nop
+    CLFLUSHOPT,  ///< pwb=clflushopt, fences=sfence (falls back to clflush)
+    CLWB,        ///< pwb=clwb, fences=sfence (falls back to clflushopt/clflush)
+    STT,         ///< injected delays: pwb 140 ns, fences 200 ns
+    PCM,         ///< injected delays: pwb 340 ns, fences 500 ns
+};
+
+/// True if this CPU executes CLFLUSHOPT / CLWB (CPUID leaf 7).
+bool cpu_has_clflushopt();
+bool cpu_has_clwb();
+
+/// Select the active profile.  Unsupported hardware profiles silently degrade
+/// (CLWB -> CLFLUSHOPT -> CLFLUSH) so benches run anywhere; query
+/// effective_profile() to learn what actually runs.
+void set_profile(Profile p);
+Profile profile();
+Profile effective_profile();
+const char* profile_name(Profile p);
+
+/// Hooks for the simulated-persistence crash model (sim_persistence.hpp).
+/// When installed, every interposed store / pwb / fence is reported so the
+/// model can maintain a shadow "what would have survived a power cut" image.
+class SimHooks {
+  public:
+    virtual ~SimHooks() = default;
+    virtual void on_store(const void* addr, size_t len) = 0;
+    virtual void on_pwb(const void* addr) = 0;
+    virtual void on_fence() = 0;
+};
+
+void set_sim_hooks(SimHooks* hooks);
+SimHooks* sim_hooks();
+
+namespace detail {
+struct ProfileState {
+    Profile requested = Profile::CLFLUSH;
+    Profile effective = Profile::CLFLUSH;
+    uint64_t pwb_delay_ns = 0;
+    uint64_t fence_delay_ns = 0;
+};
+extern ProfileState g_profile;
+extern SimHooks* g_sim_hooks;
+
+void pwb_line_slow(const void* addr);  // dispatches on g_profile
+void fence_slow();
+void delay_ns(uint64_t ns);
+}  // namespace detail
+
+/// Write back the cache line containing addr.
+inline void pwb(const void* addr) {
+    tl_stats().pwb++;
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_pwb(addr);
+    detail::pwb_line_slow(addr);
+}
+
+/// Write back every cache line of [addr, addr+len).
+inline void pwb_range(const void* addr, size_t len) {
+    if (len == 0) return;
+    auto p = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
+    auto end = reinterpret_cast<uintptr_t>(addr) + len;
+    for (; p < end; p += kCacheLineSize) pwb(reinterpret_cast<const void*>(p));
+}
+
+/// Order preceding pwbs before subsequent ones.
+inline void pfence() {
+    tl_stats().pfence++;
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_fence();
+    detail::fence_slow();
+}
+
+/// Block until preceding pwbs are persistent.
+inline void psync() {
+    tl_stats().psync++;
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_fence();
+    detail::fence_slow();
+}
+
+/// Report an interposed store of len bytes at addr to the stats and the sim
+/// model.  Called by the persist<T> wrappers after the raw store.
+inline void on_store(const void* addr, size_t len) {
+    auto& s = tl_stats();
+    s.nvm_bytes += len;
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_store(addr, len);
+}
+
+}  // namespace romulus::pmem

@@ -1,0 +1,57 @@
+// PmemRegion: a file-backed persistent memory region mapped at a fixed
+// virtual address.
+//
+// As in the paper's evaluation (§6.1) the file lives by default in /dev/shm,
+// mimicking supercapacitor-backed DRAM NVDIMMs.  The mapping address must be
+// stable across process restarts because pointers stored *inside* the region
+// are raw virtual addresses (Figure 2: back holds pointers into main).  Each
+// PTM instance therefore requests a distinct fixed base address.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace romulus::pmem {
+
+class PmemRegion {
+  public:
+    PmemRegion() = default;
+    ~PmemRegion() { unmap(); }
+
+    PmemRegion(const PmemRegion&) = delete;
+    PmemRegion& operator=(const PmemRegion&) = delete;
+
+    /// Map `size` bytes of `path` at `base_addr` (creating / extending the
+    /// file as needed).  Returns true if the file was newly created (caller
+    /// must format it).  Throws std::runtime_error on failure.
+    bool map(const std::string& path, size_t size, uintptr_t base_addr);
+
+    /// Unmap (data stays in the file).
+    void unmap();
+
+    /// Unmap and delete the backing file.
+    void destroy();
+
+    uint8_t* base() const { return base_; }
+    size_t size() const { return size_; }
+    const std::string& path() const { return path_; }
+    bool mapped() const { return base_ != nullptr; }
+
+    bool contains(const void* p) const {
+        auto u = reinterpret_cast<uintptr_t>(p);
+        auto b = reinterpret_cast<uintptr_t>(base_);
+        return u >= b && u < b + size_;
+    }
+
+  private:
+    uint8_t* base_ = nullptr;
+    size_t size_ = 0;
+    std::string path_;
+};
+
+/// Default directory for persistent heap files ("/dev/shm" unless the
+/// ROMULUS_PMEM_DIR environment variable overrides it).
+std::string default_pmem_dir();
+
+}  // namespace romulus::pmem

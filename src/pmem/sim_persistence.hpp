@@ -1,0 +1,105 @@
+// SimPersistence: a deterministic shadow-cache model of persistent memory,
+// used by the crash-injection tests (DESIGN.md §4.4).
+//
+// Real NVM semantics: a store lands in the (volatile) cache; it reaches the
+// persistence domain only once its cache line is written back — either
+// explicitly (pwb + fence) or spontaneously (cache eviction).  On a power
+// cut, lines still in the cache are lost.  The mmap-on-DRAM emulation used
+// by the paper (and by this repo at runtime) cannot exhibit those losses, so
+// correctness bugs in flush placement are invisible to it.
+//
+// This model makes them visible: it maintains a shadow image of the region
+// holding only data that *provably* reached persistence under the model:
+//   on_store  -> the line becomes dirty (cache-only),
+//   on_pwb    -> the line becomes pending write-back,
+//   on_fence  -> pending lines are copied into the shadow image,
+//   eviction  -> optionally, dirty lines are copied at random fences
+//                (spontaneous write-back is always legal).
+//
+// Two legal flush-content semantics are both supported: the content written
+// back can be captured when the pwb executes (AtPwb) or when the fence
+// completes (AtFence).  Hardware may do either; algorithms must be correct
+// under both.
+//
+// A "crash" replaces the live region's bytes with the shadow image, which is
+// exactly the state a recovery procedure would see after a power failure.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pmem/flush.hpp"
+
+namespace romulus::pmem {
+
+class SimPersistence final : public SimHooks {
+  public:
+    enum class FlushContent {
+        AtFence,  ///< written-back content = line content when the fence runs
+        AtPwb,    ///< written-back content = line content when the pwb ran
+    };
+
+    struct Options {
+        FlushContent content = FlushContent::AtFence;
+        double evict_probability = 0.0;  ///< per dirty line, per fence
+        uint64_t seed = 1;
+    };
+
+    /// Track [base, base+size). The shadow image is initialised from the
+    /// current live content (assumed persistent at attach time).
+    SimPersistence(uint8_t* base, size_t size, Options opts);
+    SimPersistence(uint8_t* base, size_t size)
+        : SimPersistence(base, size, Options()) {}
+
+    // SimHooks
+    void on_store(const void* addr, size_t len) override;
+    void on_pwb(const void* addr) override;
+    void on_fence() override;
+
+    /// Number of persistence events (fences) seen so far; crash schedules in
+    /// the property tests are expressed in these units.
+    uint64_t fence_count() const { return fence_count_; }
+
+    /// Overwrite the live region with the shadow image: everything that was
+    /// only in the "cache" is lost, exactly as in a power cut.
+    void crash_restore();
+
+    /// Re-baseline the shadow image from the live content (e.g. after a
+    /// freshly formatted heap that the test treats as fully persisted).
+    void checkpoint_all();
+
+    size_t dirty_line_count() const;
+    size_t pending_line_count() const;
+    const std::vector<uint8_t>& image() const { return image_; }
+
+  private:
+    size_t line_of(const void* addr) const {
+        return (reinterpret_cast<uintptr_t>(addr) -
+                reinterpret_cast<uintptr_t>(base_)) /
+               kCacheLineSize;
+    }
+    bool in_region(const void* addr) const {
+        auto u = reinterpret_cast<uintptr_t>(addr);
+        auto b = reinterpret_cast<uintptr_t>(base_);
+        return u >= b && u < b + size_;
+    }
+    void persist_line_locked(size_t line, const uint8_t* content);
+
+    uint8_t* base_;
+    size_t size_;
+    Options opts_;
+    std::vector<uint8_t> image_;
+    std::unordered_set<size_t> dirty_;  // stored but not written back
+    // pending write-backs; value = captured content for AtPwb, empty for
+    // AtFence (content read from the live line at fence time)
+    std::unordered_map<size_t, std::vector<uint8_t>> pending_;
+    std::mt19937_64 rng_;
+    uint64_t fence_count_ = 0;
+    mutable std::mutex mu_;
+};
+
+}  // namespace romulus::pmem

@@ -1,0 +1,11 @@
+#include "pmem/stats.hpp"
+
+namespace romulus::pmem {
+
+static thread_local Stats g_tl_stats;
+
+Stats& tl_stats() { return g_tl_stats; }
+
+void reset_tl_stats() { g_tl_stats = Stats{}; }
+
+}  // namespace romulus::pmem

@@ -1,0 +1,69 @@
+// C-RW-WP: a writer-preference reader-writer lock (Calciu et al. [3]),
+// specialised as in §5.2 of the paper: the cohort lock is replaced by a
+// simple spin lock and the read indicator is a padded per-thread array.
+//
+// Writer preference: an arriving reader that observes a writer (present or
+// waiting) departs and waits, so writers are not starved by a continuous
+// stream of readers.  Shared-lock acquisition needs no persistence fence —
+// all of these variables live in volatile memory (§5.2).
+#pragma once
+
+#include <atomic>
+
+#include "sync/read_indicator.hpp"
+#include "sync/spinlock.hpp"
+
+namespace romulus::sync {
+
+class CRWWPLock {
+  public:
+    void read_lock(int t) {
+        unsigned spins = 0;
+        while (true) {
+            ri_.arrive(t);
+            if (!writer_present_.load(std::memory_order_seq_cst)) return;
+            // A writer holds or wants the lock: step aside (writer pref).
+            ri_.depart(t);
+            while (writer_present_.load(std::memory_order_relaxed))
+                spin_wait(spins);
+        }
+    }
+
+    void read_unlock(int t) { ri_.depart(t); }
+
+    void write_lock() {
+        writers_mutex_.lock();
+        writer_present_.store(true, std::memory_order_seq_cst);
+        wait_readers();
+    }
+
+    /// Try to become the writer without blocking on the writers' mutex.
+    /// On success the caller holds the exclusive lock (readers drained).
+    bool try_write_lock() {
+        if (!writers_mutex_.try_lock()) return false;
+        writer_present_.store(true, std::memory_order_seq_cst);
+        wait_readers();
+        return true;
+    }
+
+    void write_unlock() {
+        writer_present_.store(false, std::memory_order_release);
+        writers_mutex_.unlock();
+    }
+
+    bool writer_present() const {
+        return writer_present_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void wait_readers() {
+        unsigned spins = 0;
+        while (!ri_.is_empty()) spin_wait(spins);
+    }
+
+    SpinLock writers_mutex_;
+    std::atomic<bool> writer_present_{false};
+    ReadIndicator ri_;
+};
+
+}  // namespace romulus::sync

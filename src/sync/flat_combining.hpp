@@ -1,0 +1,58 @@
+// Flat-combining announce array (Hendler et al. [14], used as in §5.2/§5.3).
+//
+// An update transaction announces a pointer to its closure in its per-thread
+// slot.  Whichever announcer acquires the writer lock becomes the combiner:
+// it scans the array, executes every announced closure inside a single
+// durable transaction, and clears each slot once the corresponding operation
+// is durable.  Announcers whose slot was cleared return without ever taking
+// the lock — this is what gives update transactions starvation-free progress
+// even though the underlying lock is an unfair spin lock.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "sync/spinlock.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace romulus::sync {
+
+class FlatCombiningArray {
+  public:
+    using Op = std::function<void()>;
+
+    /// Publish `op` in this thread's slot.  `op` must stay alive until the
+    /// slot is observed empty again.
+    void announce(int t, Op* op) {
+        slots_[t].op.store(op, std::memory_order_release);
+    }
+
+    /// Has this thread's announced operation been executed (slot cleared)?
+    bool is_done(int t) const {
+        return slots_[t].op.load(std::memory_order_acquire) == nullptr;
+    }
+
+    /// Combiner side: run `fn(op)` for every announced operation.  `fn` must
+    /// call mark_done() itself once the operation's effects are durable.
+    template <typename Fn>
+    void for_each_announced(Fn&& fn) {
+        const int n = max_tids();
+        for (int i = 0; i < n; ++i) {
+            Op* op = slots_[i].op.load(std::memory_order_acquire);
+            if (op != nullptr) fn(i, op);
+        }
+    }
+
+    /// Clear slot i, releasing its announcer.
+    void mark_done(int i) {
+        slots_[i].op.store(nullptr, std::memory_order_release);
+    }
+
+  private:
+    struct alignas(128) Slot {
+        std::atomic<Op*> op{nullptr};
+    };
+    Slot slots_[kMaxThreads];
+};
+
+}  // namespace romulus::sync

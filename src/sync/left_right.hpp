@@ -1,0 +1,66 @@
+// Left-Right concurrency control (Ramalhete & Correia [24]), the driver used
+// by RomulusLR (§5.3).
+//
+// Readers are wait-free population-oblivious: arrive on the current version's
+// read indicator, read whichever region the control variable points at,
+// depart.  The single writer is responsible for never mutating a region that
+// readers may still be traversing: it flips the read-region control variable
+// and then performs the version-toggle-and-drain handshake before touching
+// the region readers just vacated.
+//
+// In RomulusLR the two "instances" are the byte-identical main and back
+// regions; the control variable is toggled *twice* per update transaction so
+// that writers always start on main (§5.3).
+#pragma once
+
+#include <atomic>
+
+#include "sync/read_indicator.hpp"
+#include "sync/spinlock.hpp"
+
+namespace romulus::sync {
+
+class LeftRight {
+  public:
+    static constexpr int kReadMain = 0;
+    static constexpr int kReadBack = 1;
+
+    /// Reader protocol: vi = arrive(); r = read_region(); ... ; depart(vi).
+    int arrive(int t) {
+        int vi = version_index_.load(std::memory_order_seq_cst);
+        ri_[vi].arrive(t);
+        return vi;
+    }
+
+    void depart(int t, int vi) { ri_[vi].depart(t); }
+
+    int read_region() const {
+        return read_region_.load(std::memory_order_seq_cst);
+    }
+
+    /// Writer side: direct new readers at region `r` (kReadMain/kReadBack).
+    void set_read_region(int r) {
+        read_region_.store(r, std::memory_order_seq_cst);
+    }
+
+    /// Writer side: wait until every reader that might be using the *other*
+    /// read region has departed.  Standard Left-Right toggle: first drain the
+    /// version we are about to switch new readers onto, switch, then drain
+    /// the old version.
+    void toggle_version_and_wait() {
+        const int prev = version_index_.load(std::memory_order_seq_cst);
+        const int next = 1 - prev;
+        unsigned spins = 0;
+        while (!ri_[next].is_empty()) spin_wait(spins);
+        version_index_.store(next, std::memory_order_seq_cst);
+        spins = 0;
+        while (!ri_[prev].is_empty()) spin_wait(spins);
+    }
+
+  private:
+    std::atomic<int> version_index_{0};
+    std::atomic<int> read_region_{kReadBack};
+    ReadIndicator ri_[2];
+};
+
+}  // namespace romulus::sync

@@ -1,0 +1,46 @@
+// Per-thread padded read indicator (§5.2).
+//
+// "We implement the C-RW-WP lock's 'read indicator' as an array where each
+// entry is statically assigned to a thread and extends over two cache lines,
+// so as to avoid false sharing."  Readers touch only their own slot, so
+// arrive/depart never contend with other readers; the writer scans all slots
+// when draining.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/thread_registry.hpp"
+
+namespace romulus::sync {
+
+class ReadIndicator {
+  public:
+    void arrive(int t) {
+        // seq_cst: the arrival must be globally ordered before the reader's
+        // subsequent check of the writer flag (store-load fence — the single
+        // fence the paper says readers need).
+        slots_[t].count.fetch_add(1, std::memory_order_seq_cst);
+    }
+
+    void depart(int t) {
+        slots_[t].count.fetch_sub(1, std::memory_order_release);
+    }
+
+    bool is_empty() const {
+        const int n = max_tids();
+        for (int i = 0; i < n; ++i) {
+            if (slots_[i].count.load(std::memory_order_acquire) != 0)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    struct alignas(128) Slot {  // two cache lines per entry
+        std::atomic<uint64_t> count{0};
+    };
+    Slot slots_[kMaxThreads];
+};
+
+}  // namespace romulus::sync

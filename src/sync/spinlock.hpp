@@ -1,0 +1,55 @@
+// Test-and-test-and-set spin lock with polite backoff.
+//
+// §5.2: "In our C-RW-WP implementation we replace the cohort lock by a
+// simpler spin-lock".  The lock yields while spinning so single-core and
+// oversubscribed runs make progress (the flat-combining layer on top of it
+// is what provides starvation freedom, not the lock itself).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#endif
+
+namespace romulus::sync {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#endif
+}
+
+/// One spin iteration that stays friendly when HW threads are scarce.
+inline void spin_wait(unsigned& spins) {
+    if (++spins < 64) {
+        cpu_relax();
+    } else {
+        std::this_thread::yield();
+    }
+}
+
+class SpinLock {
+  public:
+    bool try_lock() {
+        return !locked_.load(std::memory_order_relaxed) &&
+               !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void lock() {
+        unsigned spins = 0;
+        while (!try_lock()) {
+            while (locked_.load(std::memory_order_relaxed)) spin_wait(spins);
+        }
+    }
+
+    void unlock() { locked_.store(false, std::memory_order_release); }
+
+    bool is_locked() const { return locked_.load(std::memory_order_acquire); }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+}  // namespace romulus::sync

@@ -1,0 +1,48 @@
+#include "sync/thread_registry.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+namespace romulus::sync {
+
+namespace {
+
+std::mutex g_mu;
+bool g_used[kMaxThreads] = {};
+std::atomic<int> g_max_tids{0};
+
+int acquire_slot() {
+    std::lock_guard lk(g_mu);
+    for (int i = 0; i < kMaxThreads; ++i) {
+        if (!g_used[i]) {
+            g_used[i] = true;
+            int hi = g_max_tids.load(std::memory_order_relaxed);
+            if (i + 1 > hi) g_max_tids.store(i + 1, std::memory_order_relaxed);
+            return i;
+        }
+    }
+    throw std::runtime_error("thread_registry: more than kMaxThreads threads");
+}
+
+void release_slot(int i) {
+    std::lock_guard lk(g_mu);
+    g_used[i] = false;
+}
+
+struct SlotHolder {
+    int slot;
+    SlotHolder() : slot(acquire_slot()) {}
+    ~SlotHolder() { release_slot(slot); }
+};
+
+}  // namespace
+
+int tid() {
+    static thread_local SlotHolder holder;
+    return holder.slot;
+}
+
+int max_tids() { return g_max_tids.load(std::memory_order_acquire); }
+
+}  // namespace romulus::sync

@@ -1,0 +1,23 @@
+// Dense thread-id registry.
+//
+// The C-RW-WP read indicator, the flat-combining array and the Left-Right
+// read indicators all need a small per-thread slot index that is stable for
+// the thread's lifetime (§5.2: "each entry is statically assigned to a
+// thread").  Slots are recycled when threads exit so long-running test
+// suites that spawn many short-lived threads do not exhaust the table.
+#pragma once
+
+namespace romulus::sync {
+
+inline constexpr int kMaxThreads = 128;
+
+/// This thread's slot index in [0, kMaxThreads).  Assigned on first call,
+/// released automatically at thread exit.  Throws std::runtime_error if more
+/// than kMaxThreads threads are alive simultaneously.
+int tid();
+
+/// Upper bound (exclusive) on slot indices handed out so far; scanning
+/// [0, max_tids()) covers every live thread's slot.
+int max_tids();
+
+}  // namespace romulus::sync

@@ -1,0 +1,16 @@
+// The five PTMs of the evaluation (3 Romulus variants + 2 baselines), as a
+// gtest typed-test type list.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "baselines/redolog.hpp"
+#include "baselines/undolog.hpp"
+#include "core/romulus.hpp"
+
+namespace romulus::test {
+
+using AllPtms = ::testing::Types<RomulusNL, RomulusLog, RomulusLR,
+                                 baselines::UndoLogPTM, baselines::RedoLogPTM>;
+
+}  // namespace romulus::test

@@ -1,0 +1,168 @@
+// Concurrency stress tests across the PTMs: atomicity of multi-location
+// update transactions under concurrent readers (no torn snapshots), durable
+// linearizability (a returned update is visible to subsequent reads from
+// any thread), and mixed-structure churn with invariant checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "ds/hash_map.hpp"
+#include "ptm_types.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+using romulus::test::EngineSession;
+
+template <typename P>
+class ConcStress : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        session_ = std::make_unique<EngineSession<P>>(48u << 20, P::name());
+    }
+    void TearDown() override { session_.reset(); }
+    std::unique_ptr<EngineSession<P>> session_;
+};
+
+TYPED_TEST_SUITE(ConcStress, romulus::test::AllPtms);
+
+// Writers keep the invariant a + b == 0 (mod 2^64); readers must never
+// observe a violated snapshot.
+TYPED_TEST(ConcStress, ReadersNeverObserveTornMultiWordUpdates) {
+    using P = TypeParam;
+    using PU = typename P::template p<uint64_t>;
+    struct Pair {
+        PU a, b;
+    };
+    Pair* pair = nullptr;
+    P::updateTx([&] {
+        pair = P::template tmNew<Pair>();
+        pair->a = 0u;
+        pair->b = 0u;
+        P::put_object(0, pair);
+    });
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> torn{false};
+    std::atomic<uint64_t> reads{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                uint64_t va = 0, vb = 0;
+                P::readTx([&] {
+                    va = pair->a.pload();
+                    vb = pair->b.pload();
+                });
+                if (va + vb != 0) torn.store(true);
+                reads.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 2; ++w) {
+        writers.emplace_back([&] {
+            std::mt19937_64 rng(w);
+            for (int i = 0; i < 500; ++i) {
+                const uint64_t delta = rng();
+                P::updateTx([&] {
+                    pair->a += delta;
+                    pair->b -= delta;
+                });
+                if (i % 16 == 0) std::this_thread::yield();
+            }
+        });
+    }
+    for (auto& t : writers) t.join();
+    stop.store(true);
+    for (auto& t : readers) t.join();
+    EXPECT_FALSE(torn.load());
+    uint64_t fa = 0, fb = 0;
+    P::readTx([&] {
+        fa = pair->a.pload();
+        fb = pair->b.pload();
+    });
+    EXPECT_EQ(fa + fb, 0u);
+}
+
+// Durable linearizability (§5.2/[18]): once updateTx returns, every
+// subsequent read — from any thread — sees the effect.
+TYPED_TEST(ConcStress, CommittedUpdatesAreImmediatelyVisibleToOtherThreads) {
+    using P = TypeParam;
+    using PU = typename P::template p<uint64_t>;
+    PU* counter = nullptr;
+    P::updateTx([&] {
+        counter = P::template tmNew<PU>();
+        *counter = 0u;
+        P::put_object(0, counter);
+    });
+
+    std::atomic<uint64_t> published{0};
+    std::atomic<bool> stale{false};
+    std::atomic<bool> stop{false};
+    std::thread checker([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const uint64_t floor = published.load(std::memory_order_seq_cst);
+            uint64_t got = 0;
+            P::readTx([&] { got = counter->pload(); });
+            if (got < floor) stale.store(true);  // regressed: not linearizable
+        }
+    });
+    for (uint64_t i = 1; i <= 1500; ++i) {
+        P::updateTx([&] { *counter = i; });
+        published.store(i, std::memory_order_seq_cst);
+        if (i % 64 == 0) std::this_thread::yield();
+    }
+    stop.store(true);
+    checker.join();
+    EXPECT_FALSE(stale.load());
+}
+
+// Mixed churn: several threads hammer one hash map with adds/removes of
+// disjoint key ranges plus full-map membership readers.
+TYPED_TEST(ConcStress, DisjointRangeChurnKeepsMapConsistent) {
+    using P = TypeParam;
+    using Map = ds::HashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] {
+        map = P::template tmNew<Map>(64);
+        P::put_object(0, map);
+    });
+
+    constexpr int kWriters = 3;
+    constexpr uint64_t kRange = 64;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> ts;
+    for (int w = 0; w < kWriters; ++w) {
+        ts.emplace_back([&, w] {
+            std::mt19937_64 rng(w * 7 + 1);
+            for (int i = 0; i < 400; ++i) {
+                const uint64_t k = w * kRange + rng() % kRange;
+                if (rng() % 2 == 0) {
+                    map->add(k);
+                } else {
+                    map->remove(k);
+                }
+            }
+        });
+    }
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            uint64_t seen = 0;
+            map->for_each([&](uint64_t) { ++seen; });
+            (void)seen;
+        }
+    });
+    for (auto& t : ts) t.join();
+    stop.store(true);
+    reader.join();
+
+    EXPECT_TRUE(map->check_invariants());
+    EXPECT_GT(P::allocator().check_consistency(), 0u);
+    // Each writer only touched its own range: keys outside are absent.
+    EXPECT_FALSE(map->contains(kWriters * kRange + 1));
+}

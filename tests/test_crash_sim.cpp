@@ -1,0 +1,331 @@
+// Crash-injection property tests (DESIGN.md §4.4).
+//
+// Under the SimPersistence shadow-cache model, only data whose cache line
+// was explicitly written back (or randomly evicted) before a fence is
+// persistent.  These tests crash a scripted workload AT EVERY PERSISTENCE
+// FENCE, emulate the restart (live region := persisted image, close, init),
+// and verify that recovery restores a consistent state:
+//
+//   * the recovered heap equals the state either before or after the
+//     in-flight transaction (failure atomicity: all or nothing),
+//   * every transaction whose end_transaction returned is present
+//     (durability),
+//   * data-structure and allocator invariants hold (§4.4: no leaked or
+//     doubly-used chunks after recovery).
+//
+// The sweep runs under both legal flush-content semantics (content captured
+// at pwb vs at fence) and with random spontaneous evictions — algorithms
+// must tolerate a dirty line reaching NVM that was never explicitly flushed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ds/hash_map.hpp"
+#include "ds/linked_list_set.hpp"
+#include "pmem/sim_persistence.hpp"
+#include "ptm_types.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+
+namespace {
+
+struct CrashPoint {};
+
+class CrashingSim final : public pmem::SimHooks {
+  public:
+    CrashingSim(uint8_t* base, size_t size, pmem::SimPersistence::Options opts)
+        : inner_(base, size, opts) {}
+
+    uint64_t crash_at = UINT64_MAX;  // fence index that "loses power"
+
+    void on_store(const void* a, size_t n) override { inner_.on_store(a, n); }
+    void on_pwb(const void* a) override { inner_.on_pwb(a); }
+    void on_fence() override {
+        inner_.on_fence();
+        if (inner_.fence_count() >= crash_at) throw CrashPoint{};
+    }
+
+    pmem::SimPersistence& model() { return inner_; }
+
+  private:
+    pmem::SimPersistence inner_;
+};
+
+template <typename E>
+size_t crash_heap_bytes() {
+    // RedoLogPTM reserves ~8 MiB of per-thread logs up front.
+    if constexpr (std::is_same_v<E, baselines::RedoLogPTM>) return 24u << 20;
+    return 12u << 20;
+}
+
+/// The scripted workload: kTxs transactions over a persistent sorted list.
+/// Returns per-tx expected contents; expected[j] = contents after j txs.
+std::vector<std::set<uint64_t>> expected_states(int txs) {
+    std::vector<std::set<uint64_t>> states{{}};
+    std::set<uint64_t> cur;
+    uint64_t x = 88172645463325252ull;  // deterministic xorshift
+    for (int j = 0; j < txs; ++j) {
+        x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+        uint64_t key = x % 40 + 1;
+        if (x % 3 != 0) {
+            cur.insert(key);
+        } else {
+            cur.erase(key);
+        }
+        states.push_back(cur);
+    }
+    return states;
+}
+
+// Committed-transaction counter, updated by the workload after every
+// end_transaction return so the crash handler knows the durable lower bound.
+thread_local int committed_count_ = -1;
+
+template <typename E>
+struct CrashWorkload {
+    using List = ds::LinkedListSet<E, uint64_t>;
+    static constexpr int kTxs = 12;
+
+    /// Runs the workload; returns the number of *completed* transactions
+    /// (creation is tx 0 in a separate accounting slot).
+    static int run() {
+        committed_count_ = -1;
+        E::begin_transaction();
+        auto* list = E::template tmNew<List>();
+        E::put_object(0, list);
+        E::end_transaction();
+        committed_count_ = 0;
+
+        uint64_t x = 88172645463325252ull;
+        for (int j = 0; j < kTxs; ++j) {
+            x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+            uint64_t key = x % 40 + 1;
+            E::begin_transaction();
+            if (x % 3 != 0) {
+                list->add(key);
+            } else {
+                list->remove(key);
+            }
+            E::end_transaction();
+            committed_count_ = j + 1;
+        }
+        return kTxs;
+    }
+
+    /// Post-recovery validation.  `completed` = txs whose end returned
+    /// before the crash (-1: creation tx did not complete).
+    static void verify(int completed) {
+        auto* list = E::template get_object<List>(0);
+        if (completed < 0) {
+            // The creation tx may or may not have committed; if it did not,
+            // the root must still be null (no torn object graph).
+            if (list == nullptr) return;
+            ASSERT_TRUE(list->check_invariants());
+            return;
+        }
+        ASSERT_NE(list, nullptr);
+        ASSERT_TRUE(list->check_invariants());
+        auto states = expected_states(kTxs);
+        std::set<uint64_t> got;
+        list->for_each([&](uint64_t k) { got.insert(k); });
+        // All-or-nothing: the recovered contents are the committed prefix,
+        // possibly including the transaction in flight at the crash.
+        const auto& pre = states[completed];
+        const bool match_pre = got == pre;
+        const bool match_post =
+            completed < kTxs && got == states[completed + 1];
+        EXPECT_TRUE(match_pre || match_post)
+            << "completed=" << completed << " size=" << got.size();
+    }
+};
+
+template <typename E>
+void run_crash_sweep(pmem::SimPersistence::Options opts, int stride_cap) {
+    const std::string path = test::heap_path(std::string("crash_") + E::name());
+    const size_t bytes = crash_heap_bytes<E>();
+
+    // Dry run: count total fences in the full workload.
+    std::remove(path.c_str());
+    E::init(bytes, path);
+    auto sim0 = std::make_unique<CrashingSim>(E::region().base(),
+                                              E::region().size(), opts);
+    pmem::set_sim_hooks(sim0.get());
+    CrashWorkload<E>::run();
+    pmem::set_sim_hooks(nullptr);
+    const uint64_t total = sim0->model().fence_count();
+    sim0.reset();
+    E::destroy();
+    ASSERT_GT(total, 10u);
+
+    const uint64_t stride =
+        total > uint64_t(stride_cap) ? total / stride_cap : 1;
+    int crashes = 0;
+    for (uint64_t k = 1; k <= total; k += stride) {
+        std::remove(path.c_str());
+        E::init(bytes, path);
+        CrashingSim sim(E::region().base(), E::region().size(), opts);
+        sim.crash_at = k;
+        pmem::set_sim_hooks(&sim);
+        int completed = -1;
+        bool crashed = false;
+        try {
+            completed = CrashWorkload<E>::run();
+        } catch (const CrashPoint&) {
+            crashed = true;
+            completed = static_cast<int>(committed_count_);
+        }
+        pmem::set_sim_hooks(nullptr);
+        if (crashed) {
+            ++crashes;
+            sim.model().crash_restore();  // power cut: cache contents lost
+            E::close();
+            E::crash_reset_for_tests();
+            E::init(bytes, path);  // restart: recovery runs inside init
+        }
+        CrashWorkload<E>::verify(crashed ? completed : CrashWorkload<E>::kTxs);
+        E::destroy();
+    }
+    EXPECT_GT(crashes, 0);
+}
+
+}  // namespace
+
+template <typename E>
+class CrashSim : public ::testing::Test {
+  protected:
+    void SetUp() override { pmem::set_profile(pmem::Profile::NOP); }
+    void TearDown() override { pmem::set_sim_hooks(nullptr); }
+};
+
+TYPED_TEST_SUITE(CrashSim, romulus::test::AllPtms);
+
+TYPED_TEST(CrashSim, EveryFenceCrashRecovers_FlushAtFence) {
+    run_crash_sweep<TypeParam>(
+        {pmem::SimPersistence::FlushContent::AtFence, 0.0, 1}, 160);
+}
+
+TYPED_TEST(CrashSim, EveryFenceCrashRecovers_FlushAtPwb) {
+    run_crash_sweep<TypeParam>(
+        {pmem::SimPersistence::FlushContent::AtPwb, 0.0, 2}, 160);
+}
+
+TYPED_TEST(CrashSim, EveryFenceCrashRecovers_WithRandomEviction) {
+    run_crash_sweep<TypeParam>(
+        {pmem::SimPersistence::FlushContent::AtFence, 0.25, 3}, 120);
+}
+
+// A structurally different workload for the same sweep: a hash map (bucket
+// array + counter + nodes) interleaved with bulk store_range writes into a
+// byte buffer — exercising the allocator's array path, the shared counter,
+// and the range-store code under crash injection.
+namespace {
+
+template <typename E>
+struct MixedCrashWorkload {
+    static constexpr int kTxs = 10;
+
+    static void run() {
+        committed_count_ = -1;
+        E::begin_transaction();
+        auto* map = E::template tmNew<romulus::ds::HashMap<E, uint64_t>>(4);
+        E::put_object(0, map);
+        auto* buf = static_cast<uint8_t*>(E::alloc_bytes(256));
+        E::zero_range(buf, 256);
+        E::put_object(1, buf);
+        E::end_transaction();
+        committed_count_ = 0;
+
+        uint64_t x = 0x853C49E6748FEA9Bull;
+        for (int j = 0; j < kTxs; ++j) {
+            x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+            E::begin_transaction();
+            if (x % 2 == 0) {
+                map->add(x % 30);  // may trigger a resize transactionally
+            } else {
+                map->remove(x % 30);
+            }
+            std::vector<uint8_t> pat(64, uint8_t(j + 1));
+            E::store_range(buf + (j % 4) * 64, pat.data(), 64);
+            E::end_transaction();
+            committed_count_ = j + 1;
+        }
+    }
+
+    static void verify(int completed) {
+        auto* map =
+            E::template get_object<romulus::ds::HashMap<E, uint64_t>>(0);
+        auto* buf = E::template get_object<uint8_t>(1);
+        if (completed < 0) {
+            if (map != nullptr) EXPECT_TRUE(map->check_invariants());
+            return;
+        }
+        ASSERT_NE(map, nullptr);
+        ASSERT_NE(buf, nullptr);
+        EXPECT_TRUE(map->check_invariants());
+        EXPECT_GT(E::allocator().check_consistency(), 0u);
+        // Atomicity of the bulk write: each 64-byte stripe is uniform (a
+        // torn stripe would mix two pattern bytes).
+        for (int s = 0; s < 4; ++s) {
+            const uint8_t first = buf[s * 64];
+            for (int i = 1; i < 64; ++i)
+                ASSERT_EQ(buf[s * 64 + i], first) << "torn stripe " << s;
+        }
+    }
+};
+
+template <typename E>
+void run_mixed_sweep() {
+    const std::string path =
+        test::heap_path(std::string("crashmix_") + E::name());
+    const size_t bytes = crash_heap_bytes<E>();
+    pmem::SimPersistence::Options opts{
+        pmem::SimPersistence::FlushContent::AtFence, 0.0, 5};
+
+    std::remove(path.c_str());
+    E::init(bytes, path);
+    auto sim0 = std::make_unique<CrashingSim>(E::region().base(),
+                                              E::region().size(), opts);
+    pmem::set_sim_hooks(sim0.get());
+    MixedCrashWorkload<E>::run();
+    pmem::set_sim_hooks(nullptr);
+    const uint64_t total = sim0->model().fence_count();
+    sim0.reset();
+    E::destroy();
+
+    const uint64_t stride = total > 120 ? total / 120 : 1;
+    for (uint64_t k = 1; k <= total; k += stride) {
+        std::remove(path.c_str());
+        E::init(bytes, path);
+        CrashingSim sim(E::region().base(), E::region().size(), opts);
+        sim.crash_at = k;
+        pmem::set_sim_hooks(&sim);
+        bool crashed = false;
+        int completed = MixedCrashWorkload<E>::kTxs;
+        try {
+            MixedCrashWorkload<E>::run();
+        } catch (const CrashPoint&) {
+            crashed = true;
+            completed = committed_count_;
+        }
+        pmem::set_sim_hooks(nullptr);
+        if (crashed) {
+            sim.model().crash_restore();
+            E::close();
+            E::crash_reset_for_tests();
+            E::init(bytes, path);
+        }
+        MixedCrashWorkload<E>::verify(completed);
+        E::destroy();
+        if (::testing::Test::HasFatalFailure()) return;
+    }
+}
+
+}  // namespace
+
+TYPED_TEST(CrashSim, MixedStructureAndRangeWorkloadRecovers) {
+    run_mixed_sweep<TypeParam>();
+}

@@ -1,0 +1,256 @@
+// Persistent data structures across every PTM: unit behaviour plus
+// model-based property tests (random op streams mirrored against std::set).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <set>
+
+#include "ds/fixed_hash_map.hpp"
+#include "ds/hash_map.hpp"
+#include "ds/linked_list_set.hpp"
+#include "ds/rb_tree.hpp"
+#include "ptm_types.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+using romulus::test::EngineSession;
+
+template <typename P>
+class DsTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        session_ = std::make_unique<EngineSession<P>>(32u << 20, P::name());
+    }
+    void TearDown() override { session_.reset(); }
+    std::unique_ptr<EngineSession<P>> session_;
+};
+
+TYPED_TEST_SUITE(DsTest, romulus::test::AllPtms);
+
+// ---------------------------------------------------------------- list
+
+TYPED_TEST(DsTest, ListAddRemoveContains) {
+    using P = TypeParam;
+    using List = ds::LinkedListSet<P, uint64_t>;
+    List* list = nullptr;
+    P::updateTx([&] {
+        list = P::template tmNew<List>();
+        P::put_object(0, list);
+    });
+    EXPECT_TRUE(list->add(5));
+    EXPECT_TRUE(list->add(3));
+    EXPECT_TRUE(list->add(9));
+    EXPECT_FALSE(list->add(5));  // duplicate
+    EXPECT_TRUE(list->contains(3));
+    EXPECT_FALSE(list->contains(4));
+    EXPECT_TRUE(list->remove(3));
+    EXPECT_FALSE(list->remove(3));
+    EXPECT_FALSE(list->contains(3));
+    EXPECT_EQ(list->size(), 2u);
+    EXPECT_TRUE(list->check_invariants());
+    P::updateTx([&] { P::tmDelete(list); });
+}
+
+TYPED_TEST(DsTest, ListIsSorted) {
+    using P = TypeParam;
+    using List = ds::LinkedListSet<P, uint64_t>;
+    List* list = nullptr;
+    P::updateTx([&] { list = P::template tmNew<List>(); });
+    for (uint64_t k : {9u, 1u, 7u, 3u, 5u}) list->add(k);
+    std::vector<uint64_t> got;
+    list->for_each([&](uint64_t k) { got.push_back(k); });
+    EXPECT_EQ(got, (std::vector<uint64_t>{1, 3, 5, 7, 9}));
+    P::updateTx([&] { P::tmDelete(list); });
+}
+
+TYPED_TEST(DsTest, ListRandomOpsMatchStdSet) {
+    using P = TypeParam;
+    using List = ds::LinkedListSet<P, uint64_t>;
+    List* list = nullptr;
+    P::updateTx([&] { list = P::template tmNew<List>(); });
+    std::set<uint64_t> model;
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 600; ++i) {
+        uint64_t k = rng() % 64 + 1;
+        switch (rng() % 3) {
+            case 0:
+                EXPECT_EQ(list->add(k), model.insert(k).second);
+                break;
+            case 1:
+                EXPECT_EQ(list->remove(k), model.erase(k) > 0);
+                break;
+            default:
+                EXPECT_EQ(list->contains(k), model.count(k) > 0);
+        }
+    }
+    EXPECT_EQ(list->size(), model.size());
+    EXPECT_TRUE(list->check_invariants());
+    P::updateTx([&] { P::tmDelete(list); });
+}
+
+// ---------------------------------------------------------------- hash map
+
+TYPED_TEST(DsTest, HashMapBasicAndResize) {
+    using P = TypeParam;
+    using Map = ds::HashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] {
+        map = P::template tmNew<Map>(4);  // tiny: forces several resizes
+        P::put_object(0, map);
+    });
+    for (uint64_t k = 1; k <= 200; ++k) EXPECT_TRUE(map->add(k));
+    EXPECT_EQ(map->size(), 200u);
+    EXPECT_GT(map->bucket_count(), 4u);  // grew
+    for (uint64_t k = 1; k <= 200; ++k) EXPECT_TRUE(map->contains(k));
+    EXPECT_FALSE(map->contains(0));
+    for (uint64_t k = 1; k <= 100; ++k) EXPECT_TRUE(map->remove(k));
+    EXPECT_EQ(map->size(), 100u);
+    EXPECT_TRUE(map->check_invariants());
+    P::updateTx([&] { P::tmDelete(map); });
+}
+
+TYPED_TEST(DsTest, HashMapRandomOpsMatchStdSet) {
+    using P = TypeParam;
+    using Map = ds::HashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] { map = P::template tmNew<Map>(8); });
+    std::set<uint64_t> model;
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 800; ++i) {
+        uint64_t k = rng() % 300;
+        switch (rng() % 3) {
+            case 0:
+                EXPECT_EQ(map->add(k), model.insert(k).second);
+                break;
+            case 1:
+                EXPECT_EQ(map->remove(k), model.erase(k) > 0);
+                break;
+            default:
+                EXPECT_EQ(map->contains(k), model.count(k) > 0);
+        }
+    }
+    EXPECT_EQ(map->size(), model.size());
+    EXPECT_TRUE(map->check_invariants());
+    P::updateTx([&] { P::tmDelete(map); });
+}
+
+// ---------------------------------------------------------------- fixed map
+
+TYPED_TEST(DsTest, FixedHashMapPutGetValues) {
+    using P = TypeParam;
+    using Map = ds::FixedHashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] { map = P::template tmNew<Map>(64); });
+
+    std::vector<uint8_t> val(256);
+    for (size_t i = 0; i < val.size(); ++i) val[i] = uint8_t(i);
+    map->put(10, val.data(), val.size());
+
+    std::vector<uint8_t> out(256, 0);
+    EXPECT_EQ(map->get(10, out.data(), out.size()), 256);
+    EXPECT_EQ(val, out);
+    EXPECT_EQ(map->get(11, nullptr, 0), -1);
+
+    // Overwrite with a different size: reallocates.
+    std::vector<uint8_t> small{1, 2, 3};
+    map->put(10, small.data(), small.size());
+    std::vector<uint8_t> out2(3, 0);
+    EXPECT_EQ(map->get(10, out2.data(), out2.size()), 3);
+    EXPECT_EQ(small, out2);
+
+    EXPECT_TRUE(map->remove(10));
+    EXPECT_FALSE(map->contains(10));
+    P::updateTx([&] { P::tmDelete(map); });
+}
+
+TYPED_TEST(DsTest, FixedHashMapManyKeysNoResize) {
+    using P = TypeParam;
+    using Map = ds::FixedHashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] { map = P::template tmNew<Map>(32); });
+    uint64_t v;
+    for (uint64_t k = 0; k < 300; ++k) map->put(k, &k, sizeof(k));
+    EXPECT_EQ(map->size(), 300u);
+    for (uint64_t k = 0; k < 300; ++k) {
+        ASSERT_EQ(map->get(k, &v, sizeof(v)), int64_t(sizeof(v)));
+        EXPECT_EQ(v, k);
+    }
+    P::updateTx([&] { P::tmDelete(map); });
+}
+
+// ---------------------------------------------------------------- RB tree
+
+TYPED_TEST(DsTest, RBTreeBasic) {
+    using P = TypeParam;
+    using Tree = ds::RBTree<P, uint64_t>;
+    Tree* tree = nullptr;
+    P::updateTx([&] { tree = P::template tmNew<Tree>(); });
+    for (uint64_t k = 1; k <= 100; ++k) EXPECT_TRUE(tree->add(k));
+    EXPECT_FALSE(tree->add(50));
+    EXPECT_EQ(tree->size(), 100u);
+    EXPECT_TRUE(tree->check_invariants());
+    for (uint64_t k = 1; k <= 50; ++k) EXPECT_TRUE(tree->remove(k));
+    EXPECT_FALSE(tree->remove(50));
+    EXPECT_EQ(tree->size(), 50u);
+    EXPECT_TRUE(tree->check_invariants());
+    std::vector<uint64_t> keys;
+    tree->for_each([&](uint64_t k) { keys.push_back(k); });
+    ASSERT_EQ(keys.size(), 50u);
+    EXPECT_EQ(keys.front(), 51u);
+    EXPECT_EQ(keys.back(), 100u);
+    P::updateTx([&] { P::tmDelete(tree); });
+}
+
+TYPED_TEST(DsTest, RBTreeRandomOpsMatchStdSet) {
+    using P = TypeParam;
+    using Tree = ds::RBTree<P, uint64_t>;
+    Tree* tree = nullptr;
+    P::updateTx([&] { tree = P::template tmNew<Tree>(); });
+    std::set<uint64_t> model;
+    std::mt19937_64 rng(1234);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t k = rng() % 200;
+        switch (rng() % 3) {
+            case 0:
+                ASSERT_EQ(tree->add(k), model.insert(k).second) << "i=" << i;
+                break;
+            case 1:
+                ASSERT_EQ(tree->remove(k), model.erase(k) > 0) << "i=" << i;
+                break;
+            default:
+                ASSERT_EQ(tree->contains(k), model.count(k) > 0) << "i=" << i;
+        }
+        if (i % 100 == 0) ASSERT_TRUE(tree->check_invariants()) << "i=" << i;
+    }
+    EXPECT_EQ(tree->size(), model.size());
+    EXPECT_TRUE(tree->check_invariants());
+    std::vector<uint64_t> got, want(model.begin(), model.end());
+    tree->for_each([&](uint64_t k) { got.push_back(k); });
+    EXPECT_EQ(got, want);
+    P::updateTx([&] { P::tmDelete(tree); });
+}
+
+// --------------------------------------------------- structures persist
+
+TYPED_TEST(DsTest, HashMapSurvivesReopen) {
+    using P = TypeParam;
+    using Map = ds::HashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] {
+        map = P::template tmNew<Map>(16);
+        P::put_object(0, map);
+    });
+    for (uint64_t k = 0; k < 50; ++k) map->add(k * 3);
+
+    std::string path = this->session_->path;
+    P::close();
+    P::init(32u << 20, path);
+
+    Map* reopened = P::template get_object<Map>(0);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->size(), 50u);
+    for (uint64_t k = 0; k < 50; ++k) EXPECT_TRUE(reopened->contains(k * 3));
+    EXPECT_TRUE(reopened->check_invariants());
+}

@@ -1,0 +1,182 @@
+// Typed tests for the extension data structures (skip list, queue, vector)
+// across every PTM, including model-based random-op property tests.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <random>
+#include <set>
+
+#include "ds/pqueue.hpp"
+#include "ds/pvector.hpp"
+#include "ds/skip_list.hpp"
+#include "ptm_types.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+using romulus::test::EngineSession;
+
+template <typename P>
+class DsExtra : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        session_ = std::make_unique<EngineSession<P>>(32u << 20, P::name());
+    }
+    void TearDown() override { session_.reset(); }
+    std::unique_ptr<EngineSession<P>> session_;
+};
+
+TYPED_TEST_SUITE(DsExtra, romulus::test::AllPtms);
+
+// --------------------------------------------------------------- skip list
+
+TYPED_TEST(DsExtra, SkipListBasic) {
+    using P = TypeParam;
+    using SL = ds::SkipListSet<P, uint64_t>;
+    SL* sl = nullptr;
+    P::updateTx([&] { sl = P::template tmNew<SL>(); });
+    for (uint64_t k : {50u, 10u, 90u, 30u, 70u}) EXPECT_TRUE(sl->add(k));
+    EXPECT_FALSE(sl->add(50));
+    EXPECT_TRUE(sl->contains(30));
+    EXPECT_FALSE(sl->contains(31));
+    EXPECT_TRUE(sl->remove(30));
+    EXPECT_FALSE(sl->remove(30));
+    EXPECT_EQ(sl->size(), 4u);
+    std::vector<uint64_t> got;
+    sl->for_each([&](uint64_t k) { got.push_back(k); });
+    EXPECT_EQ(got, (std::vector<uint64_t>{10, 50, 70, 90}));
+    EXPECT_TRUE(sl->check_invariants());
+    P::updateTx([&] { P::tmDelete(sl); });
+}
+
+TYPED_TEST(DsExtra, SkipListRandomOpsMatchStdSet) {
+    using P = TypeParam;
+    using SL = ds::SkipListSet<P, uint64_t>;
+    SL* sl = nullptr;
+    P::updateTx([&] { sl = P::template tmNew<SL>(); });
+    std::set<uint64_t> model;
+    std::mt19937_64 rng(31337);
+    for (int i = 0; i < 800; ++i) {
+        uint64_t k = rng() % 256;
+        switch (rng() % 3) {
+            case 0:
+                ASSERT_EQ(sl->add(k), model.insert(k).second) << i;
+                break;
+            case 1:
+                ASSERT_EQ(sl->remove(k), model.erase(k) > 0) << i;
+                break;
+            default:
+                ASSERT_EQ(sl->contains(k), model.count(k) > 0) << i;
+        }
+    }
+    EXPECT_EQ(sl->size(), model.size());
+    EXPECT_TRUE(sl->check_invariants());
+    std::vector<uint64_t> got, want(model.begin(), model.end());
+    sl->for_each([&](uint64_t k) { got.push_back(k); });
+    EXPECT_EQ(got, want);
+    P::updateTx([&] { P::tmDelete(sl); });
+}
+
+// ------------------------------------------------------------------- queue
+
+TYPED_TEST(DsExtra, QueueFifoOrder) {
+    using P = TypeParam;
+    using Q = ds::PQueue<P, uint64_t>;
+    Q* q = nullptr;
+    P::updateTx([&] { q = P::template tmNew<Q>(); });
+    EXPECT_TRUE(q->empty());
+    EXPECT_FALSE(q->dequeue().has_value());
+    for (uint64_t i = 1; i <= 50; ++i) q->enqueue(i * 11);
+    EXPECT_EQ(q->size(), 50u);
+    EXPECT_EQ(q->front().value(), 11u);
+    for (uint64_t i = 1; i <= 50; ++i) {
+        auto v = q->dequeue();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i * 11);
+    }
+    EXPECT_TRUE(q->empty());
+    EXPECT_TRUE(q->check_invariants());
+    P::updateTx([&] { P::tmDelete(q); });
+}
+
+TYPED_TEST(DsExtra, QueueInterleavedMatchesStdDeque) {
+    using P = TypeParam;
+    using Q = ds::PQueue<P, uint64_t>;
+    Q* q = nullptr;
+    P::updateTx([&] { q = P::template tmNew<Q>(); });
+    std::deque<uint64_t> model;
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 600; ++i) {
+        if (model.empty() || rng() % 2 == 0) {
+            uint64_t v = rng();
+            q->enqueue(v);
+            model.push_back(v);
+        } else {
+            auto got = q->dequeue();
+            ASSERT_TRUE(got.has_value());
+            ASSERT_EQ(*got, model.front());
+            model.pop_front();
+        }
+        if (i % 128 == 0) ASSERT_TRUE(q->check_invariants());
+    }
+    EXPECT_EQ(q->size(), model.size());
+    P::updateTx([&] { P::tmDelete(q); });
+}
+
+TYPED_TEST(DsExtra, QueueSurvivesReopen) {
+    using P = TypeParam;
+    using Q = ds::PQueue<P, uint64_t>;
+    Q* q = nullptr;
+    P::updateTx([&] {
+        q = P::template tmNew<Q>();
+        P::put_object(0, q);
+    });
+    for (uint64_t i = 0; i < 20; ++i) q->enqueue(i);
+    (void)q->dequeue();  // 1..19 remain
+
+    std::string path = this->session_->path;
+    P::close();
+    P::init(32u << 20, path);
+    Q* rq = P::template get_object<Q>(0);
+    ASSERT_NE(rq, nullptr);
+    EXPECT_EQ(rq->size(), 19u);
+    EXPECT_EQ(rq->dequeue().value(), 1u);
+}
+
+// ------------------------------------------------------------------ vector
+
+TYPED_TEST(DsExtra, VectorPushGrowSetGetPop) {
+    using P = TypeParam;
+    using V = ds::PVector<P, uint64_t>;
+    V* v = nullptr;
+    P::updateTx([&] { v = P::template tmNew<V>(4); });
+    for (uint64_t i = 0; i < 100; ++i) v->push_back(i * 3);  // several grows
+    EXPECT_EQ(v->size(), 100u);
+    EXPECT_GE(v->capacity(), 100u);
+    for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v->get(i), i * 3);
+    v->set(50, 999);
+    EXPECT_EQ(v->get(50), 999u);
+    EXPECT_EQ(v->pop_back(), 99 * 3);
+    EXPECT_EQ(v->size(), 99u);
+    uint64_t sum = 0;
+    v->for_each([&](uint64_t x) { sum += x; });
+    EXPECT_GT(sum, 0u);
+    P::updateTx([&] { P::tmDelete(v); });
+}
+
+TYPED_TEST(DsExtra, VectorBoundsChecking) {
+    using P = TypeParam;
+    using V = ds::PVector<P, uint64_t>;
+    V* v = nullptr;
+    P::updateTx([&] { v = P::template tmNew<V>(); });
+    v->push_back(1);
+    EXPECT_THROW(v->get(1), std::out_of_range);
+    EXPECT_THROW(v->set(5, 0), std::out_of_range);
+    (void)v->pop_back();
+    EXPECT_THROW(v->pop_back(), std::out_of_range);
+    // The throwing transactions must have been rolled back cleanly:
+    v->push_back(7);
+    EXPECT_EQ(v->get(0), 7u);
+    P::updateTx([&] { P::tmDelete(v); });
+}

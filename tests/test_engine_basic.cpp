@@ -1,0 +1,155 @@
+// Basic engine behaviour common to all three Romulus variants: init/format,
+// transactions, roots, allocation, twin-copy invariants, reopen.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/romulus.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+using romulus::test::EngineSession;
+
+template <typename E>
+class EngineBasic : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);  // fast unit tests
+        session_ = std::make_unique<EngineSession<E>>(8u << 20, E::name());
+    }
+    void TearDown() override { session_.reset(); }
+    std::unique_ptr<EngineSession<E>> session_;
+};
+
+using Engines = ::testing::Types<RomulusNL, RomulusLog, RomulusLR>;
+TYPED_TEST_SUITE(EngineBasic, Engines);
+
+TYPED_TEST(EngineBasic, FreshHeapStartsIdleAndEmpty) {
+    using E = TypeParam;
+    EXPECT_EQ(E::state(), IDL);
+    EXPECT_EQ(E::template get_object<void>(0), nullptr);
+    EXPECT_GT(E::used_bytes(), 0u);  // meta block is accounted
+    EXPECT_LT(E::used_bytes(), E::main_size());
+}
+
+TYPED_TEST(EngineBasic, SingleThreadedTransactionPersistsAnInt) {
+    using E = TypeParam;
+    E::begin_transaction();
+    auto* x = E::template tmNew<typename E::template p<uint64_t>>();
+    *x = 42u;
+    E::put_object(0, x);
+    E::end_transaction();
+
+    EXPECT_EQ(E::state(), IDL);
+    auto* rx = E::template get_object<typename E::template p<uint64_t>>(0);
+    ASSERT_NE(rx, nullptr);
+    EXPECT_EQ(rx->pload(), 42u);
+}
+
+TYPED_TEST(EngineBasic, BackIsByteIdenticalToMainAfterCommit) {
+    using E = TypeParam;
+    E::begin_transaction();
+    auto* x = E::template tmNew<typename E::template p<uint64_t>>();
+    *x = 0xDEADBEEFu;
+    E::put_object(1, x);
+    E::end_transaction();
+    EXPECT_EQ(std::memcmp(E::main_base(), E::back_base(), E::used_bytes()), 0);
+}
+
+TYPED_TEST(EngineBasic, AbortRestoresPreviousState) {
+    using E = TypeParam;
+    E::begin_transaction();
+    auto* x = E::template tmNew<typename E::template p<uint64_t>>();
+    *x = 7u;
+    E::put_object(0, x);
+    E::end_transaction();
+
+    E::begin_transaction();
+    auto* rx = E::template get_object<typename E::template p<uint64_t>>(0);
+    *rx = 99u;
+    E::put_object(0, nullptr);
+    E::abort_transaction();
+
+    auto* after = E::template get_object<typename E::template p<uint64_t>>(0);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->pload(), 7u);
+    EXPECT_EQ(std::memcmp(E::main_base(), E::back_base(), E::used_bytes()), 0);
+}
+
+TYPED_TEST(EngineBasic, ReopenFindsPersistedData) {
+    using E = TypeParam;
+    E::begin_transaction();
+    auto* x = E::template tmNew<typename E::template p<uint64_t>>();
+    *x = 1234u;
+    E::put_object(2, x);
+    E::end_transaction();
+
+    std::string path = this->session_->path;
+    E::close();
+    E::init(8u << 20, path);
+
+    auto* rx = E::template get_object<typename E::template p<uint64_t>>(2);
+    ASSERT_NE(rx, nullptr);
+    EXPECT_EQ(rx->pload(), 1234u);
+}
+
+TYPED_TEST(EngineBasic, UpdateTxAndReadTxRoundTrip) {
+    using E = TypeParam;
+    E::updateTx([&] {
+        auto* x = E::template tmNew<typename E::template p<uint64_t>>();
+        *x = 5u;
+        E::put_object(0, x);
+    });
+    uint64_t got = 0;
+    E::readTx([&] {
+        auto* rx = E::template get_object<typename E::template p<uint64_t>>(0);
+        got = rx->pload();
+    });
+    EXPECT_EQ(got, 5u);
+}
+
+TYPED_TEST(EngineBasic, ConcurrentCountersAddUp) {
+    using E = TypeParam;
+    E::updateTx([&] {
+        auto* c = E::template tmNew<typename E::template p<uint64_t>>();
+        *c = 0u;
+        E::put_object(0, c);
+    });
+    constexpr int kThreads = 4, kIncs = 200;
+    std::vector<std::thread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+        ts.emplace_back([&] {
+            for (int j = 0; j < kIncs; ++j) {
+                E::updateTx([&] {
+                    auto* c =
+                        E::template get_object<typename E::template p<uint64_t>>(0);
+                    *c += 1u;
+                });
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    uint64_t got = 0;
+    E::readTx([&] {
+        got = E::template get_object<typename E::template p<uint64_t>>(0)->pload();
+    });
+    EXPECT_EQ(got, uint64_t(kThreads) * kIncs);
+}
+
+TYPED_TEST(EngineBasic, AllocatorRollsBackWithAbortedTransaction) {
+    using E = TypeParam;
+    E::begin_transaction();
+    (void)E::template tmNew<uint64_t>();
+    E::end_transaction();
+    const uint64_t count_before = E::allocator().alloc_count();
+
+    E::begin_transaction();
+    (void)E::template tmNew<uint64_t>();
+    (void)E::template tmNew<uint64_t>();
+    EXPECT_EQ(E::allocator().alloc_count(), count_before + 2);
+    E::abort_transaction();
+
+    EXPECT_EQ(E::allocator().alloc_count(), count_before);
+}

@@ -1,0 +1,169 @@
+// Unit tests for persist<T> interposition semantics and the volatile
+// RangeLog (§4.7), including the Left-Right synthetic-pointer adjustment
+// (§5.3, Figure 3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/range_log.hpp"
+#include "core/romulus.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+
+// ------------------------------------------------------------- persist<T>
+
+TEST(PersistT, StackInstancesBehaveLikeRawValues) {
+    // Outside any mapped region, persist<T> degrades to a plain value with
+    // the same operator surface — this is what makes porting volatile code
+    // mechanical (§4.4).
+    persist<uint64_t, RomulusLog> x;
+    x = 41u;
+    x += 1u;
+    EXPECT_EQ(uint64_t(x), 42u);
+    ++x;
+    EXPECT_EQ(x.pload(), 43u);
+    --x;
+    x -= 3u;
+    EXPECT_EQ(x.pload(), 39u);
+    EXPECT_TRUE(x == 39u);
+    EXPECT_TRUE(x < 40u);
+
+    persist<uint64_t, RomulusLog> y{x};  // copy ctor goes through pstore
+    EXPECT_EQ(y.pload(), 39u);
+    y = x;
+    EXPECT_EQ(y.pload(), 39u);
+}
+
+TEST(PersistT, PointerSugar) {
+    struct Obj {
+        int v;
+    };
+    Obj obj{7};
+    persist<Obj*, RomulusLog> p;
+    p = &obj;
+    EXPECT_EQ(p->v, 7);
+    EXPECT_EQ((*p).v, 7);
+    persist<void*, RomulusLog> vp;  // void* must compile (roots array)
+    vp = &obj;
+    EXPECT_EQ(vp.pload(), &obj);
+}
+
+TEST(PersistT, SyntheticPointerAdjustmentOnBackRegion) {
+    pmem::set_profile(pmem::Profile::NOP);
+    test::EngineSession<RomulusLR> session(8u << 20, "synth");
+    using E = RomulusLR;
+    using PU = E::p<uint64_t>;
+
+    // A persistent cell holding a pointer to another persistent cell.
+    struct Cell {
+        E::p<PU*> ptr;
+    };
+    Cell* cell = nullptr;
+    PU* target = nullptr;
+    E::updateTx([&] {
+        target = E::tmNew<PU>();
+        *target = 1234u;
+        cell = E::tmNew<Cell>();
+        cell->ptr = target;
+        E::put_object(0, cell);
+    });
+
+    // Inside a read transaction the reader runs on the back region: every
+    // pointer it loads must land inside back, not main, and dereference to
+    // the same value (Figure 3).
+    E::readTx([&] {
+        Cell* c = E::get_object<Cell>(0);
+        auto addr = reinterpret_cast<uintptr_t>(c);
+        auto main_lo = reinterpret_cast<uintptr_t>(E::main_base());
+        auto back_lo = reinterpret_cast<uintptr_t>(E::back_base());
+        ASSERT_GE(addr, back_lo);  // root was adjusted into back
+        ASSERT_LT(addr, back_lo + E::main_size());
+        PU* t = c->ptr.pload();
+        auto taddr = reinterpret_cast<uintptr_t>(t);
+        ASSERT_GE(taddr, back_lo);  // interior pointer adjusted too
+        ASSERT_LT(taddr, back_lo + E::main_size());
+        EXPECT_EQ(t->pload(), 1234u);
+        (void)main_lo;
+    });
+
+    // Inside an update transaction the same pointers stay in main.
+    E::updateTx([&] {
+        Cell* c = E::get_object<Cell>(0);
+        EXPECT_TRUE(E::in_main(c));
+        EXPECT_TRUE(E::in_main(c->ptr.pload()));
+    });
+}
+
+// --------------------------------------------------------------- RangeLog
+
+TEST(RangeLogTest, DedupsWithinCacheLine) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    for (int i = 0; i < 8; ++i) log.add(i * 8, 8);  // same 64 B line
+    EXPECT_EQ(log.entries().size(), 1u);
+    EXPECT_EQ(log.logged_bytes(), 64u);
+    EXPECT_FALSE(log.full_copy());
+}
+
+TEST(RangeLogTest, SpanningStoreLogsEveryCoveredLine) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(60, 200);  // covers lines 0..4 (offset 60 to 260)
+    EXPECT_EQ(log.entries().size(), 5u);
+}
+
+TEST(RangeLogTest, EpochResetDropsOldEntries) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(0, 8);
+    log.add(64, 8);
+    EXPECT_EQ(log.entries().size(), 2u);
+    log.begin_tx(SIZE_MAX);
+    EXPECT_EQ(log.entries().size(), 0u);
+    log.add(0, 8);  // the same line logs again in the new transaction
+    EXPECT_EQ(log.entries().size(), 1u);
+}
+
+TEST(RangeLogTest, ThresholdTriggersFullCopy) {
+    RangeLog log;
+    log.begin_tx(128);  // at most two lines before giving up
+    log.add(0, 8);
+    EXPECT_FALSE(log.full_copy());
+    log.add(64, 8);
+    EXPECT_FALSE(log.full_copy());
+    log.add(128, 8);  // 192 logged bytes > 128 threshold
+    EXPECT_TRUE(log.full_copy());
+    // Subsequent adds are ignored (log content no longer used).
+    log.add(4096, 8);
+    EXPECT_TRUE(log.full_copy());
+}
+
+TEST(RangeLogTest, ZeroLengthAddIsIgnored) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(128, 0);
+    EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(RangeLogTest, ManyDistinctLinesAllRecorded) {
+    RangeLog log(12);  // small table: 4096 slots
+    log.begin_tx(SIZE_MAX);
+    for (size_t i = 0; i < 1000; ++i) log.add(i * 64, 8);
+    ASSERT_TRUE(log.full_copy() || log.entries().size() == 1000u);
+    if (!log.full_copy()) {
+        // Every line offset must appear exactly once.
+        std::set<uint64_t> offs;
+        for (const auto& e : log.entries()) offs.insert(e.off);
+        EXPECT_EQ(offs.size(), 1000u);
+    }
+}
+
+// The full-copy fallback must also engage when the table gets too crowded —
+// correctness cannot depend on the hash behaving well.
+TEST(RangeLogTest, TableOverflowFallsBackToFullCopy) {
+    RangeLog log(6);  // tiny: 64 slots
+    log.begin_tx(SIZE_MAX);
+    for (size_t i = 0; i < 200; ++i) log.add(i * 64, 8);
+    EXPECT_TRUE(log.full_copy());
+}

@@ -1,0 +1,227 @@
+// Unit tests for the persistence substrate: flush profiles, range
+// write-back coverage, statistics, the mapped region, and the
+// SimPersistence shadow-cache model itself.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "pmem/flush.hpp"
+#include "pmem/region.hpp"
+#include "pmem/sim_persistence.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+
+TEST(FlushProfile, AllProfilesSelectable) {
+    for (auto p : {pmem::Profile::NOP, pmem::Profile::CLFLUSH,
+                   pmem::Profile::CLFLUSHOPT, pmem::Profile::CLWB,
+                   pmem::Profile::STT, pmem::Profile::PCM}) {
+        pmem::set_profile(p);
+        EXPECT_EQ(pmem::profile(), p);
+        // The effective profile is never something the CPU can't execute.
+        auto eff = pmem::effective_profile();
+        if (eff == pmem::Profile::CLWB) EXPECT_TRUE(pmem::cpu_has_clwb());
+        if (eff == pmem::Profile::CLFLUSHOPT)
+            EXPECT_TRUE(pmem::cpu_has_clflushopt());
+        // Issuing the primitives must be safe whatever the hardware.
+        alignas(64) char buf[128] = {};
+        pmem::pwb(buf);
+        pmem::pfence();
+        pmem::psync();
+    }
+    pmem::set_profile(pmem::Profile::NOP);
+}
+
+TEST(FlushProfile, DelayProfilesActuallyDelay) {
+    alignas(64) char buf[64] = {};
+    pmem::set_profile(pmem::Profile::PCM);  // 340 ns per pwb
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 1000; ++i) pmem::pwb(buf);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    pmem::set_profile(pmem::Profile::NOP);
+    EXPECT_GE(ns, 1000 * 340 / 2);  // at least ~half the nominal delay
+}
+
+TEST(FlushStats, CountsEveryPrimitive) {
+    pmem::set_profile(pmem::Profile::NOP);
+    pmem::reset_tl_stats();
+    alignas(64) char buf[256] = {};
+    pmem::pwb(buf);
+    pmem::pwb_range(buf, 256);  // 4 lines
+    pmem::pfence();
+    pmem::psync();
+    pmem::on_store(buf, 10);
+    auto& st = pmem::tl_stats();
+    EXPECT_EQ(st.pwb, 5u);
+    EXPECT_EQ(st.pfence, 1u);
+    EXPECT_EQ(st.psync, 1u);
+    EXPECT_EQ(st.fences(), 2u);
+    EXPECT_EQ(st.nvm_bytes, 10u);
+}
+
+TEST(FlushStats, PwbRangeCoversStraddlingLines) {
+    pmem::reset_tl_stats();
+    alignas(64) char buf[192] = {};
+    pmem::pwb_range(buf + 60, 8);  // straddles a line boundary: 2 lines
+    EXPECT_EQ(pmem::tl_stats().pwb, 2u);
+    pmem::reset_tl_stats();
+    pmem::pwb_range(buf + 60, 0);  // empty range: nothing
+    EXPECT_EQ(pmem::tl_stats().pwb, 0u);
+}
+
+TEST(PmemRegion, CreateReopenDestroy) {
+    const std::string path = test::heap_path("region");
+    std::remove(path.c_str());
+    pmem::PmemRegion r1;
+    EXPECT_TRUE(r1.map(path, 1 << 20, 0));  // created
+    ASSERT_NE(r1.base(), nullptr);
+    EXPECT_EQ(r1.size(), size_t{1} << 20);
+    std::memset(r1.base(), 0x5A, 4096);
+    EXPECT_TRUE(r1.contains(r1.base() + 100));
+    EXPECT_FALSE(r1.contains(r1.base() + (1 << 20)));
+    r1.unmap();
+    EXPECT_FALSE(r1.mapped());
+
+    pmem::PmemRegion r2;
+    EXPECT_FALSE(r2.map(path, 1 << 20, 0));  // reopened, not created
+    EXPECT_EQ(r2.base()[0], 0x5A);           // data survived the unmap
+    r2.destroy();
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);  // file gone
+}
+
+TEST(PmemRegion, FixedAddressIsHonoured) {
+    const std::string path = test::heap_path("region_fixed");
+    std::remove(path.c_str());
+    constexpr uintptr_t kWant = 0x5F0000000000ull;
+    pmem::PmemRegion r;
+    r.map(path, 1 << 20, kWant);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(r.base()), kWant);
+    // Remapping after unmap lands at the same address: pointer stability.
+    r.unmap();
+    pmem::PmemRegion r2;
+    r2.map(path, 1 << 20, kWant);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(r2.base()), kWant);
+    r2.destroy();
+}
+
+TEST(PmemRegion, ResizedFileIsTreatedAsFresh) {
+    const std::string path = test::heap_path("region_resize");
+    std::remove(path.c_str());
+    pmem::PmemRegion r1;
+    EXPECT_TRUE(r1.map(path, 1 << 20, 0));
+    r1.unmap();
+    pmem::PmemRegion r2;
+    EXPECT_TRUE(r2.map(path, 2 << 20, 0));  // different size -> "created"
+    r2.destroy();
+}
+
+// ----------------------------------------------------------- SimPersistence
+
+class SimModel : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        buf_ = static_cast<uint8_t*>(aligned_alloc(64, kSize));
+        std::memset(buf_, 0, kSize);
+    }
+    void TearDown() override {
+        pmem::set_sim_hooks(nullptr);
+        free(buf_);
+    }
+    static constexpr size_t kSize = 4096;
+    uint8_t* buf_;
+};
+
+TEST_F(SimModel, UnflushedStoreIsLostOnCrash) {
+    pmem::SimPersistence sim(buf_, kSize);
+    pmem::set_sim_hooks(&sim);
+    buf_[0] = 42;
+    pmem::on_store(buf_, 1);
+    EXPECT_EQ(sim.dirty_line_count(), 1u);
+    pmem::set_sim_hooks(nullptr);
+    sim.crash_restore();
+    EXPECT_EQ(buf_[0], 0);  // never written back: lost
+}
+
+TEST_F(SimModel, PwbAloneIsNotEnough) {
+    pmem::SimPersistence sim(buf_, kSize);
+    pmem::set_sim_hooks(&sim);
+    buf_[0] = 42;
+    pmem::on_store(buf_, 1);
+    pmem::pwb(buf_);  // pending, but no fence yet
+    EXPECT_EQ(sim.pending_line_count(), 1u);
+    pmem::set_sim_hooks(nullptr);
+    sim.crash_restore();
+    EXPECT_EQ(buf_[0], 0);
+}
+
+TEST_F(SimModel, PwbPlusFencePersists) {
+    pmem::SimPersistence sim(buf_, kSize);
+    pmem::set_sim_hooks(&sim);
+    buf_[0] = 42;
+    pmem::on_store(buf_, 1);
+    pmem::pwb(buf_);
+    pmem::pfence();
+    pmem::set_sim_hooks(nullptr);
+    sim.crash_restore();
+    EXPECT_EQ(buf_[0], 42);
+}
+
+TEST_F(SimModel, FlushContentSemanticsDiffer) {
+    // Store A, pwb, store B (same line), fence: AtPwb persists A, AtFence B.
+    for (auto content : {pmem::SimPersistence::FlushContent::AtPwb,
+                         pmem::SimPersistence::FlushContent::AtFence}) {
+        std::memset(buf_, 0, kSize);
+        pmem::SimPersistence sim(buf_, kSize, {content, 0.0, 1});
+        pmem::set_sim_hooks(&sim);
+        buf_[0] = 1;
+        pmem::on_store(buf_, 1);
+        pmem::pwb(buf_);
+        buf_[0] = 2;
+        pmem::on_store(buf_, 1);
+        pmem::pfence();
+        pmem::set_sim_hooks(nullptr);
+        sim.crash_restore();
+        if (content == pmem::SimPersistence::FlushContent::AtPwb) {
+            EXPECT_EQ(buf_[0], 1);
+        } else {
+            EXPECT_EQ(buf_[0], 2);
+        }
+    }
+}
+
+TEST_F(SimModel, RandomEvictionPersistsUnflushedDirtyLines) {
+    pmem::SimPersistence sim(buf_, kSize,
+                             {pmem::SimPersistence::FlushContent::AtFence,
+                              1.0 /*always evict*/, 7});
+    pmem::set_sim_hooks(&sim);
+    buf_[128] = 9;  // store, never pwb'd
+    pmem::on_store(buf_ + 128, 1);
+    pmem::pfence();  // eviction pass runs here
+    pmem::set_sim_hooks(nullptr);
+    sim.crash_restore();
+    EXPECT_EQ(buf_[128], 9);  // spontaneously written back
+}
+
+TEST_F(SimModel, CheckpointRebaselines) {
+    pmem::SimPersistence sim(buf_, kSize);
+    pmem::set_sim_hooks(&sim);
+    buf_[7] = 77;
+    pmem::on_store(buf_ + 7, 1);
+    sim.checkpoint_all();  // declare current live state persistent
+    pmem::set_sim_hooks(nullptr);
+    sim.crash_restore();
+    EXPECT_EQ(buf_[7], 77);
+}
+
+TEST_F(SimModel, FenceCountAdvances) {
+    pmem::SimPersistence sim(buf_, kSize);
+    pmem::set_sim_hooks(&sim);
+    EXPECT_EQ(sim.fence_count(), 0u);
+    pmem::pfence();
+    pmem::psync();
+    EXPECT_EQ(sim.fence_count(), 2u);
+}

@@ -1,0 +1,112 @@
+// Explicit abort and exception-rollback semantics across every PTM: a
+// transaction that aborts (or throws) must leave no trace — user data,
+// roots, and allocator state all roll back.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ds/hash_map.hpp"
+#include "ptm_types.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+using romulus::test::EngineSession;
+
+template <typename P>
+class PtmAbort : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        session_ = std::make_unique<EngineSession<P>>(32u << 20, P::name());
+    }
+    void TearDown() override { session_.reset(); }
+    std::unique_ptr<EngineSession<P>> session_;
+};
+
+TYPED_TEST_SUITE(PtmAbort, romulus::test::AllPtms);
+
+TYPED_TEST(PtmAbort, ExplicitAbortRollsBackStoresRootsAndAllocations) {
+    using P = TypeParam;
+    using PU = typename P::template p<uint64_t>;
+    P::updateTx([&] {
+        auto* x = P::template tmNew<PU>();
+        *x = 5u;
+        P::put_object(0, x);
+    });
+    const uint64_t count_before = P::allocator().alloc_count();
+
+    P::begin_transaction();
+    auto* x = P::template get_object<PU>(0);
+    *x = 999u;
+    auto* y = P::template tmNew<PU>();
+    *y = 1u;
+    P::put_object(1, y);
+    P::abort_transaction();
+
+    EXPECT_EQ(P::template get_object<PU>(0)->pload(), 5u);
+    EXPECT_EQ(P::template get_object<void>(1), nullptr);
+    EXPECT_EQ(P::allocator().alloc_count(), count_before);
+}
+
+TYPED_TEST(PtmAbort, UserExceptionInUpdateTxRollsBackAndPropagates) {
+    using P = TypeParam;
+    using PU = typename P::template p<uint64_t>;
+    P::updateTx([&] {
+        auto* x = P::template tmNew<PU>();
+        *x = 7u;
+        P::put_object(0, x);
+    });
+    struct Boom {};
+    EXPECT_THROW(P::updateTx([&] {
+                     auto* x = P::template get_object<PU>(0);
+                     *x = 1000u;
+                     throw Boom{};
+                 }),
+                 Boom);
+    // After the exception the PTM must be fully usable and the store undone.
+    uint64_t got = 0;
+    P::readTx([&] { got = P::template get_object<PU>(0)->pload(); });
+    EXPECT_EQ(got, 7u);
+    P::updateTx([&] { *P::template get_object<PU>(0) += 1u; });
+    P::readTx([&] { got = P::template get_object<PU>(0)->pload(); });
+    EXPECT_EQ(got, 8u);
+}
+
+TYPED_TEST(PtmAbort, UserExceptionInReadTxPropagatesAndReleasesLocks) {
+    using P = TypeParam;
+    using PU = typename P::template p<uint64_t>;
+    P::updateTx([&] {
+        auto* x = P::template tmNew<PU>();
+        *x = 3u;
+        P::put_object(0, x);
+    });
+    struct Boom {};
+    EXPECT_THROW(P::readTx([&] { throw Boom{}; }), Boom);
+    // A writer must still be able to get in (read lock was released).
+    P::updateTx([&] { *P::template get_object<PU>(0) = 4u; });
+    uint64_t got = 0;
+    P::readTx([&] { got = P::template get_object<PU>(0)->pload(); });
+    EXPECT_EQ(got, 4u);
+}
+
+TYPED_TEST(PtmAbort, AbortedStructuralChangeLeavesMapIntact) {
+    using P = TypeParam;
+    using Map = ds::HashMap<P, uint64_t>;
+    Map* map = nullptr;
+    P::updateTx([&] {
+        map = P::template tmNew<Map>(8);
+        P::put_object(0, map);
+    });
+    for (uint64_t k = 0; k < 40; ++k) map->add(k);
+
+    P::begin_transaction();
+    map->add(100);   // nested, part of the doomed transaction
+    map->remove(0);  // ditto
+    P::abort_transaction();
+
+    EXPECT_EQ(map->size(), 40u);
+    EXPECT_FALSE(map->contains(100));
+    EXPECT_TRUE(map->contains(0));
+    EXPECT_TRUE(map->check_invariants());
+    EXPECT_GT(P::allocator().check_consistency(), 0u);
+}

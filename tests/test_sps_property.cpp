@@ -1,0 +1,103 @@
+// Property test behind the Fig. 9 SPS benchmark, parameterised over flush
+// profile x swaps-per-transaction (TEST_P sweep): after any number of
+// swap transactions the array must still be a permutation of its initial
+// contents (swaps conserve the multiset), under every fence configuration
+// and on every PTM.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "ptm_types.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+
+namespace {
+
+struct SpsParam {
+    pmem::Profile profile;
+    int swaps_per_tx;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SpsParam>& info) {
+    std::string p;
+    switch (info.param.profile) {
+        case pmem::Profile::NOP: p = "nop"; break;
+        case pmem::Profile::CLFLUSH: p = "clflush"; break;
+        case pmem::Profile::CLFLUSHOPT: p = "clflushopt"; break;
+        case pmem::Profile::CLWB: p = "clwb"; break;
+        case pmem::Profile::STT: p = "stt"; break;
+        case pmem::Profile::PCM: p = "pcm"; break;
+    }
+    return p + "_x" + std::to_string(info.param.swaps_per_tx);
+}
+
+}  // namespace
+
+class SpsProperty : public ::testing::TestWithParam<SpsParam> {};
+
+TEST_P(SpsProperty, SwapsConserveTheMultisetOnEveryPtm) {
+    const auto [profile, swaps] = GetParam();
+    pmem::set_profile(profile);
+    constexpr uint64_t kN = 512;
+
+    auto run = [&]<typename E>() {
+        test::EngineSession<E> session(24u << 20,
+                                       std::string("sps") + E::name());
+        using PU = typename E::template p<uint64_t>;
+        PU* arr = nullptr;
+        E::updateTx(
+            [&] { arr = static_cast<PU*>(E::alloc_bytes(sizeof(PU) * kN)); });
+        for (uint64_t base = 0; base < kN; base += 128) {
+            E::updateTx([&] {
+                for (uint64_t i = base; i < base + 128; ++i) arr[i] = i * 7;
+            });
+        }
+        std::mt19937_64 rng(swaps * 31 + 1);
+        for (int tx = 0; tx < 50; ++tx) {
+            E::updateTx([&] {
+                for (int s = 0; s < swaps; ++s) {
+                    const uint64_t i = rng() % kN, j = rng() % kN;
+                    const uint64_t vi = arr[i].pload(), vj = arr[j].pload();
+                    arr[i] = vj;
+                    arr[j] = vi;
+                }
+            });
+        }
+        std::vector<uint64_t> vals;
+        E::readTx([&] {
+            for (uint64_t i = 0; i < kN; ++i) vals.push_back(arr[i].pload());
+        });
+        std::sort(vals.begin(), vals.end());
+        for (uint64_t i = 0; i < kN; ++i)
+            ASSERT_EQ(vals[i], i * 7) << E::name() << " lost a value";
+        // The twin-copy invariant must hold after the last commit.
+        if constexpr (!std::is_same_v<E, baselines::UndoLogPTM> &&
+                      !std::is_same_v<E, baselines::RedoLogPTM>) {
+            ASSERT_EQ(
+                std::memcmp(E::main_base(), E::back_base(), E::used_bytes()),
+                0);
+        }
+    };
+    run.template operator()<RomulusNL>();
+    run.template operator()<RomulusLog>();
+    run.template operator()<RomulusLR>();
+    run.template operator()<baselines::UndoLogPTM>();
+    run.template operator()<baselines::RedoLogPTM>();
+    pmem::set_profile(pmem::Profile::NOP);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FenceSweep, SpsProperty,
+    ::testing::Values(SpsParam{pmem::Profile::NOP, 1},
+                      SpsParam{pmem::Profile::NOP, 32},
+                      SpsParam{pmem::Profile::CLFLUSH, 1},
+                      SpsParam{pmem::Profile::CLFLUSH, 8},
+                      SpsParam{pmem::Profile::CLFLUSHOPT, 8},
+                      SpsParam{pmem::Profile::CLWB, 8},
+                      SpsParam{pmem::Profile::STT, 4},
+                      SpsParam{pmem::Profile::PCM, 4}),
+    param_name);

@@ -1,0 +1,104 @@
+// crash_torture: operator-grade recovery torture loop.
+//
+// Repeatedly forks a worker that mutates a persistent hash map through a
+// chosen PTM and is killed at a random moment (SIGKILL from the parent —
+// the harshest possible death: no unwinding, no signal handlers, any
+// instruction boundary).  After each kill the parent attaches to the heap,
+// runs recovery and validates every invariant.  Runs until the iteration
+// budget is exhausted or a violation is found.
+//
+//   build/tools/crash_torture [iterations=20] [engine: nl|log|lr|undo|redo]
+//
+// Exit status 0 = all recoveries consistent.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+
+#include "baselines/redolog.hpp"
+#include "baselines/undolog.hpp"
+#include "core/romulus.hpp"
+#include "ds/hash_map.hpp"
+
+using namespace romulus;
+
+namespace {
+
+template <typename E>
+int torture(int iterations) {
+    const std::string path =
+        pmem::default_pmem_dir() + "/romulus_torture_" + std::to_string(getpid()) + ".heap";
+    std::remove(path.c_str());
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        pid_t pid = fork();
+        if (pid == 0) {
+            // Worker: churn forever; the parent will SIGKILL us.
+            E::init(64u << 20, path);
+            using Map = ds::HashMap<E, uint64_t>;
+            Map* map = E::template get_object<Map>(0);
+            if (map == nullptr) {
+                E::updateTx([&] {
+                    map = E::template tmNew<Map>(64);
+                    E::put_object(0, map);
+                });
+            }
+            std::mt19937_64 rng(getpid() * 31 + iter);
+            for (;;) {
+                const uint64_t k = rng() % 500;
+                if (rng() % 2 == 0) {
+                    map->add(k);
+                } else {
+                    map->remove(k);
+                }
+            }
+        }
+        // Parent: let it run a random slice, then kill without mercy.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(500 + (iter * 7919) % 20000));
+        kill(pid, SIGKILL);
+        int status = 0;
+        waitpid(pid, &status, 0);
+
+        // Attach (recovery runs in init) and audit.
+        E::init(64u << 20, path);
+        using Map = ds::HashMap<E, uint64_t>;
+        Map* map = E::template get_object<Map>(0);
+        bool ok = true;
+        if (map != nullptr) ok = map->check_invariants();
+        if (ok) ok = E::allocator().check_consistency() > 0;
+        std::printf("iter %3d: killed pid %d, recovered -> %s (map %s, %llu "
+                    "keys)\n",
+                    iter, pid, ok ? "CONSISTENT" : "CORRUPT",
+                    map ? "present" : "absent",
+                    map ? (unsigned long long)map->size() : 0ull);
+        if (!ok) {
+            std::fprintf(stderr, "TORTURE FAILURE at iteration %d\n", iter);
+            return 1;
+        }
+        E::close();
+    }
+    std::remove(path.c_str());
+    std::printf("all %d kill/recover cycles consistent\n", iterations);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    pmem::set_profile(pmem::Profile::CLFLUSH);
+    const int iterations = argc > 1 ? std::atoi(argv[1]) : 20;
+    const std::string engine = argc > 2 ? argv[2] : "log";
+    if (engine == "nl") return torture<RomulusNL>(iterations);
+    if (engine == "lr") return torture<RomulusLR>(iterations);
+    if (engine == "undo") return torture<baselines::UndoLogPTM>(iterations);
+    if (engine == "redo") return torture<baselines::RedoLogPTM>(iterations);
+    return torture<RomulusLog>(iterations);
+}

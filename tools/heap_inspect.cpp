@@ -1,0 +1,152 @@
+// heap_inspect: operator tool that opens a Romulus heap file read-only-ish
+// and reports its persistent state — header fields, crash disposition,
+// allocator statistics, root table occupancy and a full heap-walk
+// consistency check.  Useful after a crash to see what recovery will do
+// before letting an application attach.
+//
+//   build/tools/heap_inspect <heap-file> [--engine nl|log|lr]
+//
+// NOTE: attaching runs recovery (by design: Algorithm 1 makes attach safe);
+// pass --no-recover to inspect the raw header without mapping the engine.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/romulus.hpp"
+
+using namespace romulus;
+
+namespace {
+
+// Raw header mirror (matches RomulusEngine<...>::PHeader's layout).
+struct RawHeader {
+    uint64_t magic;
+    uint32_t state;
+    uint64_t used_size;
+    uint64_t main_size;
+    uint64_t region_size;
+};
+
+const char* state_name(uint32_t s) {
+    switch (s) {
+        case 0: return "IDL (both copies consistent)";
+        case 1: return "MUT (crashed mid-transaction: back is consistent, "
+                       "recovery will copy back->main)";
+        case 2: return "CPY (crashed mid-replication: main is consistent, "
+                       "recovery will copy main->back)";
+    }
+    return "CORRUPT";
+}
+
+int inspect_raw(const std::string& path) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    RawHeader h{};
+    // The on-disk header begins with magic (8B aligned), then state,
+    // used_size, main_size, region_size — read the first 64 B and decode.
+    uint8_t buf[64];
+    if (::read(fd, buf, sizeof buf) != sizeof buf) {
+        std::fprintf(stderr, "short read\n");
+        ::close(fd);
+        return 1;
+    }
+    ::close(fd);
+    std::memcpy(&h.magic, buf + 0, 8);
+    std::memcpy(&h.state, buf + 8, 4);
+    std::memcpy(&h.used_size, buf + 16, 8);
+    std::memcpy(&h.main_size, buf + 24, 8);
+    std::memcpy(&h.region_size, buf + 32, 8);
+
+    std::printf("raw header of %s:\n", path.c_str());
+    std::printf("  magic       : 0x%016llx\n", (unsigned long long)h.magic);
+    std::printf("  state       : %u — %s\n", h.state, state_name(h.state));
+    std::printf("  used bytes  : %llu (%.2f MB)\n",
+                (unsigned long long)h.used_size,
+                double(h.used_size) / (1 << 20));
+    std::printf("  main size   : %llu\n", (unsigned long long)h.main_size);
+    std::printf("  region size : %llu\n", (unsigned long long)h.region_size);
+    return 0;
+}
+
+template <typename E>
+int inspect_engine(const std::string& path) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        std::fprintf(stderr, "cannot stat %s\n", path.c_str());
+        return 1;
+    }
+    const uint32_t pre_state = [&] {
+        RawHeader h{};
+        int fd = ::open(path.c_str(), O_RDONLY);
+        uint8_t buf[64];
+        if (fd >= 0 && ::read(fd, buf, sizeof buf) == sizeof buf)
+            std::memcpy(&h.state, buf + 8, 4);
+        if (fd >= 0) ::close(fd);
+        return h.state;
+    }();
+
+    E::init(static_cast<size_t>(st.st_size), path);
+    std::printf("engine      : %s\n", E::name());
+    std::printf("pre-attach  : %s\n", state_name(pre_state));
+    std::printf("post-attach : %s (recovery %s)\n", state_name(E::state()),
+                pre_state == 0 ? "not needed" : "completed");
+    std::printf("used bytes  : %llu / %zu main\n",
+                (unsigned long long)E::used_bytes(), E::main_size());
+
+    auto& alloc = E::allocator();
+    std::printf("allocator   : %llu live allocations, %llu live bytes, "
+                "wilderness at %llu\n",
+                (unsigned long long)alloc.alloc_count(),
+                (unsigned long long)alloc.allocated_bytes(),
+                (unsigned long long)alloc.wilderness_offset());
+    const size_t chunks = alloc.check_consistency();
+    std::printf("heap walk   : %s (%zu chunks)\n",
+                chunks > 0 ? "CONSISTENT" : "CORRUPT", chunks);
+
+    int roots = 0;
+    for (int i = 0; i < kMaxRootObjects; ++i)
+        if (E::template get_object<void>(i) != nullptr) {
+            std::printf("root[%2d]    : %p\n", i, E::template get_object<void>(i));
+            ++roots;
+        }
+    if (roots == 0) std::printf("roots       : (none set)\n");
+
+    const bool twins_equal =
+        std::memcmp(E::main_base(), E::back_base(), E::used_bytes()) == 0;
+    std::printf("twin copies : %s\n",
+                twins_equal ? "byte-identical" : "DIVERGED (BUG)");
+    E::close();
+    return chunks > 0 && twins_equal ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: heap_inspect <heap-file> [--engine nl|log|lr] "
+                     "[--no-recover]\n");
+        return 2;
+    }
+    const std::string path = argv[1];
+    std::string engine = "log";
+    bool raw = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+            engine = argv[++i];
+        else if (std::strcmp(argv[i], "--no-recover") == 0)
+            raw = true;
+    }
+    if (raw) return inspect_raw(path);
+    if (engine == "nl") return inspect_engine<RomulusNL>(path);
+    if (engine == "lr") return inspect_engine<RomulusLR>(path);
+    return inspect_engine<RomulusLog>(path);
+}
