@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_alloc"
+  "../bench/bench_ablation_alloc.pdb"
+  "CMakeFiles/bench_ablation_alloc.dir/bench_ablation_alloc.cpp.o"
+  "CMakeFiles/bench_ablation_alloc.dir/bench_ablation_alloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

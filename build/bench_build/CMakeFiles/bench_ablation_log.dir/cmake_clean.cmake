@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_log"
+  "../bench/bench_ablation_log.pdb"
+  "CMakeFiles/bench_ablation_log.dir/bench_ablation_log.cpp.o"
+  "CMakeFiles/bench_ablation_log.dir/bench_ablation_log.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

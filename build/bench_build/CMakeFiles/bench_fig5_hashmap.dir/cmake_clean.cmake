@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_hashmap"
+  "../bench/bench_fig5_hashmap.pdb"
+  "CMakeFiles/bench_fig5_hashmap.dir/bench_fig5_hashmap.cpp.o"
+  "CMakeFiles/bench_fig5_hashmap.dir/bench_fig5_hashmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

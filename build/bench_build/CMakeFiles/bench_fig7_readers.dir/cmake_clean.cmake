@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_readers"
+  "../bench/bench_fig7_readers.pdb"
+  "CMakeFiles/bench_fig7_readers.dir/bench_fig7_readers.cpp.o"
+  "CMakeFiles/bench_fig7_readers.dir/bench_fig7_readers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_db"
+  "../bench/bench_fig8_db.pdb"
+  "CMakeFiles/bench_fig8_db.dir/bench_fig8_db.cpp.o"
+  "CMakeFiles/bench_fig8_db.dir/bench_fig8_db.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_sps"
+  "../bench/bench_fig9_sps.pdb"
+  "CMakeFiles/bench_fig9_sps.dir/bench_fig9_sps.cpp.o"
+  "CMakeFiles/bench_fig9_sps.dir/bench_fig9_sps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

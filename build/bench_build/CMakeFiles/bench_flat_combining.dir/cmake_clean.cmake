@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flat_combining"
+  "../bench/bench_flat_combining.pdb"
+  "CMakeFiles/bench_flat_combining.dir/bench_flat_combining.cpp.o"
+  "CMakeFiles/bench_flat_combining.dir/bench_flat_combining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flat_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

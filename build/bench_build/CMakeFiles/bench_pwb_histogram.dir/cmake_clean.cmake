@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pwb_histogram"
+  "../bench/bench_pwb_histogram.pdb"
+  "CMakeFiles/bench_pwb_histogram.dir/bench_pwb_histogram.cpp.o"
+  "CMakeFiles/bench_pwb_histogram.dir/bench_pwb_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pwb_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_fences"
+  "../bench/bench_table1_fences.pdb"
+  "CMakeFiles/bench_table1_fences.dir/bench_table1_fences.cpp.o"
+  "CMakeFiles/bench_table1_fences.dir/bench_table1_fences.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

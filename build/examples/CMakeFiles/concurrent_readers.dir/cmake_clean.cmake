@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_readers.dir/concurrent_readers.cpp.o"
+  "CMakeFiles/concurrent_readers.dir/concurrent_readers.cpp.o.d"
+  "concurrent_readers"
+  "concurrent_readers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_cli.dir/kvstore_cli.cpp.o"
+  "CMakeFiles/kvstore_cli.dir/kvstore_cli.cpp.o.d"
+  "kvstore_cli"
+  "kvstore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/redo_clock.cpp" "src/CMakeFiles/romulus_core.dir/baselines/redo_clock.cpp.o" "gcc" "src/CMakeFiles/romulus_core.dir/baselines/redo_clock.cpp.o.d"
+  "/root/repo/src/core/engine_globals.cpp" "src/CMakeFiles/romulus_core.dir/core/engine_globals.cpp.o" "gcc" "src/CMakeFiles/romulus_core.dir/core/engine_globals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/romulus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/romulus_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/romulus_core.dir/baselines/redo_clock.cpp.o"
+  "CMakeFiles/romulus_core.dir/baselines/redo_clock.cpp.o.d"
+  "CMakeFiles/romulus_core.dir/core/engine_globals.cpp.o"
+  "CMakeFiles/romulus_core.dir/core/engine_globals.cpp.o.d"
+  "libromulus_core.a"
+  "libromulus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/romulus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/romulus_db.dir/db/waldb.cpp.o"
+  "CMakeFiles/romulus_db.dir/db/waldb.cpp.o.d"
+  "libromulus_db.a"
+  "libromulus_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/romulus_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

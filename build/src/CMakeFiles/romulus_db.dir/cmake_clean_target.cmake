@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libromulus_db.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/flush.cpp" "src/CMakeFiles/romulus_pmem.dir/pmem/flush.cpp.o" "gcc" "src/CMakeFiles/romulus_pmem.dir/pmem/flush.cpp.o.d"
+  "/root/repo/src/pmem/region.cpp" "src/CMakeFiles/romulus_pmem.dir/pmem/region.cpp.o" "gcc" "src/CMakeFiles/romulus_pmem.dir/pmem/region.cpp.o.d"
+  "/root/repo/src/pmem/sim_persistence.cpp" "src/CMakeFiles/romulus_pmem.dir/pmem/sim_persistence.cpp.o" "gcc" "src/CMakeFiles/romulus_pmem.dir/pmem/sim_persistence.cpp.o.d"
+  "/root/repo/src/pmem/stats.cpp" "src/CMakeFiles/romulus_pmem.dir/pmem/stats.cpp.o" "gcc" "src/CMakeFiles/romulus_pmem.dir/pmem/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/romulus_pmem.dir/pmem/flush.cpp.o"
+  "CMakeFiles/romulus_pmem.dir/pmem/flush.cpp.o.d"
+  "CMakeFiles/romulus_pmem.dir/pmem/region.cpp.o"
+  "CMakeFiles/romulus_pmem.dir/pmem/region.cpp.o.d"
+  "CMakeFiles/romulus_pmem.dir/pmem/sim_persistence.cpp.o"
+  "CMakeFiles/romulus_pmem.dir/pmem/sim_persistence.cpp.o.d"
+  "CMakeFiles/romulus_pmem.dir/pmem/stats.cpp.o"
+  "CMakeFiles/romulus_pmem.dir/pmem/stats.cpp.o.d"
+  "libromulus_pmem.a"
+  "libromulus_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/romulus_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/romulus_sync.dir/sync/thread_registry.cpp.o"
+  "CMakeFiles/romulus_sync.dir/sync/thread_registry.cpp.o.d"
+  "libromulus_sync.a"
+  "libromulus_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/romulus_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloc.cpp" "tests/CMakeFiles/romulus_tests.dir/test_alloc.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_alloc.cpp.o.d"
+  "/root/repo/tests/test_alloc_quick.cpp" "tests/CMakeFiles/romulus_tests.dir/test_alloc_quick.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_alloc_quick.cpp.o.d"
+  "/root/repo/tests/test_baselines_specific.cpp" "tests/CMakeFiles/romulus_tests.dir/test_baselines_specific.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_baselines_specific.cpp.o.d"
+  "/root/repo/tests/test_concurrent_stress.cpp" "tests/CMakeFiles/romulus_tests.dir/test_concurrent_stress.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_concurrent_stress.cpp.o.d"
+  "/root/repo/tests/test_crash_double.cpp" "tests/CMakeFiles/romulus_tests.dir/test_crash_double.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_crash_double.cpp.o.d"
+  "/root/repo/tests/test_crash_fork.cpp" "tests/CMakeFiles/romulus_tests.dir/test_crash_fork.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_crash_fork.cpp.o.d"
+  "/root/repo/tests/test_crash_sim.cpp" "tests/CMakeFiles/romulus_tests.dir/test_crash_sim.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_crash_sim.cpp.o.d"
+  "/root/repo/tests/test_db.cpp" "tests/CMakeFiles/romulus_tests.dir/test_db.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_db.cpp.o.d"
+  "/root/repo/tests/test_ds.cpp" "tests/CMakeFiles/romulus_tests.dir/test_ds.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_ds.cpp.o.d"
+  "/root/repo/tests/test_ds_extra.cpp" "tests/CMakeFiles/romulus_tests.dir/test_ds_extra.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_ds_extra.cpp.o.d"
+  "/root/repo/tests/test_engine_basic.cpp" "tests/CMakeFiles/romulus_tests.dir/test_engine_basic.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_engine_basic.cpp.o.d"
+  "/root/repo/tests/test_kvstore_typed.cpp" "tests/CMakeFiles/romulus_tests.dir/test_kvstore_typed.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_kvstore_typed.cpp.o.d"
+  "/root/repo/tests/test_persist_rangelog.cpp" "tests/CMakeFiles/romulus_tests.dir/test_persist_rangelog.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_persist_rangelog.cpp.o.d"
+  "/root/repo/tests/test_pmem.cpp" "tests/CMakeFiles/romulus_tests.dir/test_pmem.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_pmem.cpp.o.d"
+  "/root/repo/tests/test_ptm_abort.cpp" "tests/CMakeFiles/romulus_tests.dir/test_ptm_abort.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_ptm_abort.cpp.o.d"
+  "/root/repo/tests/test_ptms_common.cpp" "tests/CMakeFiles/romulus_tests.dir/test_ptms_common.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_ptms_common.cpp.o.d"
+  "/root/repo/tests/test_recovery_semantics.cpp" "tests/CMakeFiles/romulus_tests.dir/test_recovery_semantics.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_recovery_semantics.cpp.o.d"
+  "/root/repo/tests/test_sps_property.cpp" "tests/CMakeFiles/romulus_tests.dir/test_sps_property.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_sps_property.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/romulus_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/romulus_tests.dir/test_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/romulus_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/romulus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/romulus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/romulus_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

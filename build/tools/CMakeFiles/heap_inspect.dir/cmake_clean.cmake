@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_inspect.dir/heap_inspect.cpp.o"
+  "CMakeFiles/heap_inspect.dir/heap_inspect.cpp.o.d"
+  "heap_inspect"
+  "heap_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
