@@ -124,10 +124,13 @@ class RedoLogPTM {
                 return;
             }
         }
-        // Sub-word (or unaligned) store: read-modify-write the word.
+        // Sub-word (or unaligned) store: read-modify-write the word.  persist
+        // fields are naturally aligned so the value never spans words; the
+        // min() makes that bound provable to the compiler.
         word = read_word(wa);
-        std::memcpy(reinterpret_cast<uint8_t*>(&word) + (a - wa), &val,
-                    sizeof(T));
+        const size_t off = a - wa;
+        std::memcpy(reinterpret_cast<uint8_t*>(&word) + off, &val,
+                    std::min(sizeof(T), 8 - off));
         tl.ws.insert(wa, word);
     }
 
@@ -304,6 +307,13 @@ class RedoLogPTM {
     static uint64_t used_bytes() { return s.header->used_size.load(); }
     static Alloc& allocator() { return s.alloc; }
     static pmem::PmemRegion& region() { return s.region; }
+
+    // Layout introspection, parallel to the Romulus engines (the persistency
+    // checker builds its Layout from these): redo logging applies to one heap
+    // in place, so "main" is the heap area and there is no twin copy.
+    static uint8_t* main_base() { return s.heap; }
+    static size_t main_size() { return s.heap_size; }
+    static uint8_t* back_base() { return nullptr; }
 
     /// Test hook: clear transaction thread-locals after a simulated crash
     /// (stripe locks and the fallback mutex are reconstructed by init()).
@@ -495,11 +505,15 @@ class RedoLogPTM {
         tl.ws.reset();
         tl.rs.clear();
         tl.owned.clear();
+        // Read-only transactions never reach the durability protocol, so the
+        // lifecycle observers only hear about update transactions.
+        if (!read_only) tx_begin_hook();
     }
 
     static void tx_rollback() {
         release_owned();
         tl.active = false;
+        if (!tl.read_only) tx_abort_hook();
     }
 
     static void backoff(int retries) {
@@ -519,6 +533,7 @@ class RedoLogPTM {
     static void tx_commit() {
         if (tl.ws.size() == 0) {  // read-only or empty
             tl.active = false;
+            tx_commit_hook();
             return;
         }
         // 1. Acquire every stripe lock covering the write set.
@@ -560,6 +575,7 @@ class RedoLogPTM {
             log.entries[i].heap_off = slot.addr - reinterpret_cast<uintptr_t>(s.heap);
             log.entries[i].val = slot.val;
             pmem::on_store(&log.entries[i], sizeof(RedoEntry));
+            pmem::notify_range_logged(reinterpret_cast<void*>(slot.addr), 8);
         }
         log.count.store(n, std::memory_order_relaxed);
         pmem::on_store(&log.count, 8);
@@ -589,6 +605,7 @@ class RedoLogPTM {
         }
         tl.owned.clear();
         tl.active = false;
+        tx_commit_hook();
     }
 
     static bool owned_by_me(std::atomic<uint64_t>* lk) {

@@ -230,6 +230,13 @@ class UndoLogPTM {
     static pmem::PmemRegion& region() { return s.region; }
     static uint64_t log_entries_in_tx() { return tl.entries_this_tx; }
 
+    // Layout introspection, parallel to the Romulus engines (the persistency
+    // checker builds its Layout from these): the undo log mutates one heap in
+    // place, so "main" is the heap area and there is no twin copy.
+    static uint8_t* main_base() { return s.heap; }
+    static size_t main_size() { return s.heap_size; }
+    static uint8_t* back_base() { return nullptr; }
+
     /// Test hook: clear transaction thread-locals after a simulated crash.
     static void crash_reset_for_tests() { tl = TlState{}; }
 
@@ -330,6 +337,7 @@ class UndoLogPTM {
         pmem::pwb(&s.header->log_count);
         pmem::pfence();  // entry + count durable before the in-place store
         tl.entries_this_tx += c - first;
+        pmem::notify_range_logged(addr, len);
     }
 
     static void truncate_log() {
@@ -342,7 +350,10 @@ class UndoLogPTM {
         tl.tx_depth = 1;
         begin_tx_body();
     }
-    static void begin_tx_body() { tl.entries_this_tx = 0; }
+    static void begin_tx_body() {
+        tl.entries_this_tx = 0;
+        tx_begin_hook();
+    }
 
     static void commit_tx() {
         commit_body();
@@ -352,6 +363,7 @@ class UndoLogPTM {
         pmem::pfence();  // all in-place pwbs complete before truncation
         truncate_log();
         pmem::psync();
+        tx_commit_hook();
     }
 
     static void rollback() {
@@ -366,6 +378,7 @@ class UndoLogPTM {
         pmem::pfence();
         truncate_log();
         pmem::psync();
+        tx_abort_hook();
     }
 
     static void format() {

@@ -1,8 +1,35 @@
 #include "core/engine_globals.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 namespace romulus {
+
+namespace {
+std::atomic<uint64_t> g_tx_begins{0};
+std::atomic<uint64_t> g_tx_commits{0};
+std::atomic<uint64_t> g_tx_aborts{0};
+}  // namespace
+
+TxLifecycleCounters tx_lifecycle_counters() {
+    return TxLifecycleCounters{
+        g_tx_begins.load(std::memory_order_relaxed),
+        g_tx_commits.load(std::memory_order_relaxed),
+        g_tx_aborts.load(std::memory_order_relaxed),
+    };
+}
+
+void reset_tx_lifecycle_counters() {
+    g_tx_begins.store(0, std::memory_order_relaxed);
+    g_tx_commits.store(0, std::memory_order_relaxed);
+    g_tx_aborts.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+void count_tx_begin() { g_tx_begins.fetch_add(1, std::memory_order_relaxed); }
+void count_tx_commit() { g_tx_commits.fetch_add(1, std::memory_order_relaxed); }
+void count_tx_abort() { g_tx_aborts.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace detail
 
 size_t default_heap_bytes() {
     if (const char* mb = std::getenv("ROMULUS_HEAP_MB")) {

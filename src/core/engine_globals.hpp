@@ -1,7 +1,10 @@
-// Process-wide engine configuration helpers.
+// Process-wide engine configuration helpers and transaction-lifecycle hooks.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "pmem/flush.hpp"
 
 namespace romulus {
 
@@ -10,5 +13,39 @@ size_t default_heap_bytes();
 
 /// Size of every PTM's root-object ("objects array", §4.3) table.
 inline constexpr int kMaxRootObjects = 64;
+
+/// Process-wide transaction-lifecycle counters, aggregated across all
+/// engines.  Cheap (relaxed atomics); mostly useful to sanity-check that the
+/// lifecycle instrumentation fires for every engine under test.
+struct TxLifecycleCounters {
+    uint64_t begins = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+};
+TxLifecycleCounters tx_lifecycle_counters();
+void reset_tx_lifecycle_counters();
+
+namespace detail {
+void count_tx_begin();
+void count_tx_commit();
+void count_tx_abort();
+}  // namespace detail
+
+/// Lifecycle hook points: every engine (the Romulus variants and both log
+/// baselines) funnels its transaction boundaries through these so that one
+/// installed SimHooks observer (e.g. pmem::PersistencyChecker) sees all of
+/// them, and so the process-wide counters stay consistent.
+inline void tx_begin_hook() {
+    detail::count_tx_begin();
+    pmem::notify_tx_begin();
+}
+inline void tx_commit_hook() {
+    detail::count_tx_commit();
+    pmem::notify_tx_commit();
+}
+inline void tx_abort_hook() {
+    detail::count_tx_abort();
+    pmem::notify_tx_abort();
+}
 
 }  // namespace romulus

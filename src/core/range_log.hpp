@@ -15,6 +15,7 @@
 // shows is actually *preferable* for huge transactions.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -30,7 +31,8 @@ class RangeLog {
         uint32_t len;  ///< always a whole cache line today
     };
 
-    explicit RangeLog(size_t table_bits = 16)
+    RangeLog() : RangeLog(16) {}
+    explicit RangeLog(size_t table_bits)
         : mask_((size_t{1} << table_bits) - 1),
           lines_(size_t{1} << table_bits),
           epochs_(size_t{1} << table_bits, 0) {}
@@ -38,12 +40,25 @@ class RangeLog {
     /// Start a transaction.  `full_copy_threshold` is the number of logged
     /// bytes beyond which we give up and fall back to a full region copy.
     void begin_tx(size_t full_copy_threshold) {
-        ++epoch_;
+        if (++epoch_ == 0) {
+            // The 32-bit epoch wrapped back to the slot-vector fill value:
+            // every stale slot would look occupied by *this* transaction and
+            // dedup would silently drop its lines from the log (i.e. from the
+            // commit flush + copy — a real durability bug).  Re-zero the
+            // table and restart the epoch sequence.
+            std::fill(epochs_.begin(), epochs_.end(), 0u);
+            epoch_ = 1;
+        }
         entries_.clear();
         logged_bytes_ = 0;
         threshold_ = full_copy_threshold;
         full_copy_ = false;
     }
+
+    /// Test hook: place the epoch counter near (or at) the wrap boundary so
+    /// tests can exercise the wrap path without 2^32 transactions.
+    void debug_set_epoch(uint32_t e) { epoch_ = e; }
+    uint32_t debug_epoch() const { return epoch_; }
 
     /// Record a store of `len` bytes at main-relative offset `off`.
     void add(size_t off, size_t len) {

@@ -129,6 +129,7 @@ class RomulusEngine {
             if (tl.tx_depth > 0) {
                 // pwb deferred: commit flushes each logged line exactly once.
                 s.log.add(main_offset(addr), sizeof(T));
+                pmem::notify_range_logged(addr, sizeof(T));
                 return;
             }
         }
@@ -182,6 +183,7 @@ class RomulusEngine {
 
     static void begin_transaction() {
         if (tl.tx_depth++ > 0) return;  // flat nesting
+        tx_begin_hook();
         if constexpr (Traits::kUseLog) {
             s.log.begin_tx(full_copy_threshold());
         }
@@ -217,6 +219,7 @@ class RomulusEngine {
             s.lr.toggle_version_and_wait();
         }
         tl.tx_depth = 0;
+        tx_commit_hook();
     }
 
     /// Roll back the current transaction instead of committing it: back is
@@ -231,6 +234,7 @@ class RomulusEngine {
         store_state(IDL);
         pmem::pwb(&s.header->state);
         pmem::psync();
+        tx_abort_hook();
     }
 
     static bool in_transaction() { return tl.tx_depth > 0; }
@@ -496,6 +500,7 @@ class RomulusEngine {
     static void store_state(uint32_t st) {
         s.header->state.store(st, std::memory_order_relaxed);
         pmem::on_store(&s.header->state, sizeof(uint32_t));
+        pmem::notify_state_transition(st);
     }
 
     static void range_written(void* dst, size_t n) {
@@ -504,6 +509,7 @@ class RomulusEngine {
         if constexpr (Traits::kUseLog) {
             if (tl.tx_depth > 0) {
                 s.log.add(main_offset(dst), n);
+                pmem::notify_range_logged(dst, n);
                 return;
             }
         }

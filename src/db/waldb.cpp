@@ -40,7 +40,9 @@ void WalDB::replay() {
         ssize_t n = ::read(wal_fd_, hdr, sizeof hdr);
         if (n != sizeof hdr) break;
         uint32_t kl, vl;
+        // romlint: allow(raw-memcpy) volatile WAL header decode, no pmem involved
         std::memcpy(&kl, hdr + 1, 4);
+        // romlint: allow(raw-memcpy) volatile WAL header decode, no pmem involved
         std::memcpy(&vl, hdr + 5, 4);
         if (kl > (1u << 28) || vl > (1u << 28)) break;  // corrupt tail
         std::string key(kl, '\0'), val(vl, '\0');

@@ -87,6 +87,7 @@ class FixedHashMap {
             if (n == nullptr) return;
             const uint32_t vs = n->vsize.pload();
             if (out != nullptr && vs <= capacity)
+                // romlint: allow(raw-memcpy) read-direction copy out of the heap
                 std::memcpy(out, n->value_bytes(), vs);
             got = vs;
         });

@@ -1,0 +1,290 @@
+#include "pmem/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace romulus::pmem {
+
+const char* PersistencyChecker::kind_name(ViolationKind k) {
+    switch (k) {
+        case ViolationKind::UnloggedStore: return "unlogged-store";
+        case ViolationKind::DirtyAtTransition: return "dirty-at-transition";
+        case ViolationKind::PendingAtTransition:
+            return "pending-at-transition";
+        case ViolationKind::StoreAfterPwb: return "store-after-pwb";
+        case ViolationKind::DirtyAtCommit: return "dirty-at-commit";
+    }
+    return "?";
+}
+
+PersistencyChecker::PersistencyChecker(Layout layout, Options opts)
+    : layout_(layout), opts_(opts) {}
+
+bool PersistencyChecker::line_in(const uint8_t* area, size_t area_size,
+                                 size_t line) const {
+    if (area == nullptr || area_size == 0) return false;
+    const size_t first = line_of(area);
+    const size_t last = line_of(area + area_size - 1);
+    return line >= first && line <= last;
+}
+
+void PersistencyChecker::record(ViolationKind kind, size_t line,
+                                std::string detail) {
+    ++violation_count_;
+    if (violations_.size() < opts_.max_recorded)
+        violations_.push_back(
+            Violation{kind, line_addr(line), std::move(detail)});
+}
+
+void PersistencyChecker::on_store(const void* addr, size_t len) {
+    if (len != 0 && in_region(addr)) {
+        std::lock_guard lk(mu_);
+        const size_t first = line_of(addr);
+        const size_t last =
+            line_of(static_cast<const uint8_t*>(addr) + len - 1);
+        for (size_t l = first; l <= last; ++l) {
+            if (pending_.erase(l) != 0) {
+                // The pwb may already have captured the line (AtPwb
+                // semantics): unless re-flushed before the next fence, the
+                // fence persists stale content.  Tracked; judged at fence.
+                stale_capture_.insert(l);
+            }
+            dirty_.insert(l);
+            if (tx_active_ && line_in(layout_.main, layout_.main_size, l))
+                stored_in_tx_.insert(l);
+        }
+    }
+    if (opts_.next) opts_.next->on_store(addr, len);
+}
+
+void PersistencyChecker::on_pwb(const void* addr) {
+    if (in_region(addr)) {
+        std::lock_guard lk(mu_);
+        const size_t l = line_of(addr);
+        ++diag_.pwbs;
+        if (dirty_.erase(l) == 0 && pending_.count(l) == 0)
+            ++diag_.redundant_pwb;  // line was already clean
+        pending_.insert(l);
+        stale_capture_.erase(l);  // latest content (re-)captured
+    }
+    if (opts_.next) opts_.next->on_pwb(addr);
+}
+
+void PersistencyChecker::on_fence() {
+    {
+        std::lock_guard lk(mu_);
+        ++diag_.fences;
+        if (pending_.empty()) ++diag_.empty_fence;
+        pending_.clear();
+        if (opts_.content == FlushContent::AtPwb) {
+            for (size_t l : stale_capture_) {
+                record(ViolationKind::StoreAfterPwb, l,
+                       "line stored after its pwb and not re-flushed before "
+                       "the fence: AtPwb hardware persists the stale capture");
+            }
+        }
+        stale_capture_.clear();
+    }
+    if (opts_.next) opts_.next->on_fence();
+}
+
+void PersistencyChecker::on_tx_begin() {
+    {
+        std::lock_guard lk(mu_);
+        tx_active_ = true;
+        stored_in_tx_.clear();
+        logged_in_tx_.clear();
+        ++diag_.tx_begins;
+        tx_fence_mark_ = diag_.fences;
+        tx_pwb_mark_ = diag_.pwbs;
+    }
+    if (opts_.next) opts_.next->on_tx_begin();
+}
+
+void PersistencyChecker::finish_tx(bool committed) {
+    if (committed) {
+        if (opts_.require_log) {
+            // Report in address order so failures are deterministic.
+            std::vector<size_t> unlogged;
+            for (size_t l : stored_in_tx_)
+                if (logged_in_tx_.count(l) == 0) unlogged.push_back(l);
+            std::sort(unlogged.begin(), unlogged.end());
+            for (size_t l : unlogged) {
+                record(ViolationKind::UnloggedStore, l,
+                       "store to main inside a mutating transaction was "
+                       "never covered by a range-log entry");
+            }
+        }
+        std::vector<size_t> dirty(dirty_.begin(), dirty_.end());
+        std::sort(dirty.begin(), dirty.end());
+        for (size_t l : dirty) {
+            record(ViolationKind::DirtyAtCommit, l,
+                   "line still dirty (stored, never written back) when the "
+                   "transaction commit completed");
+        }
+        ++diag_.tx_commits;
+    } else {
+        ++diag_.tx_aborts;
+    }
+    diag_.fences_in_last_tx = diag_.fences - tx_fence_mark_;
+    diag_.pwbs_in_last_tx = diag_.pwbs - tx_pwb_mark_;
+    tx_active_ = false;
+    stored_in_tx_.clear();
+    logged_in_tx_.clear();
+}
+
+void PersistencyChecker::on_tx_commit() {
+    {
+        std::lock_guard lk(mu_);
+        finish_tx(/*committed=*/true);
+    }
+    if (opts_.next) opts_.next->on_tx_commit();
+}
+
+void PersistencyChecker::on_tx_abort() {
+    {
+        std::lock_guard lk(mu_);
+        finish_tx(/*committed=*/false);
+    }
+    if (opts_.next) opts_.next->on_tx_abort();
+}
+
+void PersistencyChecker::check_area_clean(const uint8_t* area,
+                                          size_t area_size,
+                                          const char* area_name,
+                                          const char* when,
+                                          bool pending_is_violation) {
+    if (area == nullptr || area_size == 0) return;
+    std::vector<std::pair<size_t, bool>> bad;  // line, was_pending
+    for (size_t l : dirty_)
+        if (line_in(area, area_size, l)) bad.emplace_back(l, false);
+    if (pending_is_violation) {
+        for (size_t l : pending_)
+            if (line_in(area, area_size, l)) bad.emplace_back(l, true);
+    }
+    std::sort(bad.begin(), bad.end());
+    for (auto [l, was_pending] : bad) {
+        if (was_pending) {
+            record(ViolationKind::PendingAtTransition, l,
+                   std::string(area_name) + " line has a pwb issued but no " +
+                       "ordering fence when " + when +
+                       " (write-backs may reorder past the state store)");
+        } else {
+            record(ViolationKind::DirtyAtTransition, l,
+                   std::string(area_name) +
+                       " line stored but never written back when " + when);
+        }
+    }
+}
+
+void PersistencyChecker::on_state_transition(uint32_t new_state) {
+    {
+        std::lock_guard lk(mu_);
+        // TxState values of core/romulus.hpp: 0 = IDL, 1 = MUT, 2 = CPY.
+        if (new_state == 2) {
+            // main becomes the advertised consistent copy: every line of it
+            // must provably be in the persistence domain.
+            check_area_clean(layout_.main, layout_.main_size, "main",
+                             "the state advanced to CPY",
+                             /*pending_is_violation=*/true);
+        } else if (new_state == 0) {
+            check_area_clean(layout_.main, layout_.main_size, "main",
+                             "the state advanced to IDL",
+                             /*pending_is_violation=*/true);
+            if (layout_.back != nullptr) {
+                check_area_clean(layout_.back, layout_.main_size, "back",
+                                 "the state advanced to IDL",
+                                 /*pending_is_violation=*/true);
+            }
+        } else if (new_state == 1) {
+            // Entering MUT: the previous transaction (or recovery) must have
+            // left main fully flushed.  Pending is legal here: the fence
+            // that orders the MUT store runs right after it, draining any
+            // out-of-transaction pstore still in flight.
+            check_area_clean(layout_.main, layout_.main_size, "main",
+                             "the state advanced to MUT",
+                             /*pending_is_violation=*/false);
+        }
+    }
+    if (opts_.next) opts_.next->on_state_transition(new_state);
+}
+
+void PersistencyChecker::on_range_logged(const void* addr, size_t len) {
+    if (len != 0 && in_region(addr)) {
+        std::lock_guard lk(mu_);
+        if (tx_active_) {
+            const size_t first = line_of(addr);
+            const size_t last =
+                line_of(static_cast<const uint8_t*>(addr) + len - 1);
+            for (size_t l = first; l <= last; ++l) logged_in_tx_.insert(l);
+        }
+    }
+    if (opts_.next) opts_.next->on_range_logged(addr, len);
+}
+
+uint64_t PersistencyChecker::violation_count() const {
+    std::lock_guard lk(mu_);
+    return violation_count_;
+}
+
+std::vector<PersistencyChecker::Violation> PersistencyChecker::violations()
+    const {
+    std::lock_guard lk(mu_);
+    return violations_;
+}
+
+PersistencyChecker::Diagnostics PersistencyChecker::diagnostics() const {
+    std::lock_guard lk(mu_);
+    return diag_;
+}
+
+size_t PersistencyChecker::dirty_line_count() const {
+    std::lock_guard lk(mu_);
+    return dirty_.size();
+}
+
+size_t PersistencyChecker::pending_line_count() const {
+    std::lock_guard lk(mu_);
+    return pending_.size();
+}
+
+void PersistencyChecker::clear() {
+    std::lock_guard lk(mu_);
+    violation_count_ = 0;
+    violations_.clear();
+    diag_ = Diagnostics{};
+    // Also forget the shadow line state: after a deliberately-buggy episode
+    // the region may be left shadow-dirty, and a fresh checking episode must
+    // not re-report the old damage at the next transition.
+    dirty_.clear();
+    pending_.clear();
+    stored_in_tx_.clear();
+    logged_in_tx_.clear();
+    stale_capture_.clear();
+    tx_active_ = false;
+    tx_fence_mark_ = 0;
+    tx_pwb_mark_ = 0;
+}
+
+std::string PersistencyChecker::report() const {
+    std::lock_guard lk(mu_);
+    if (violation_count_ == 0 && diag_.redundant_pwb == 0 &&
+        diag_.empty_fence == 0)
+        return "";
+    std::ostringstream os;
+    os << "PersistencyChecker: " << violation_count_ << " hard violation(s)";
+    if (violation_count_ > violations_.size())
+        os << " (" << violations_.size() << " recorded)";
+    os << "\n";
+    for (const auto& v : violations_) {
+        os << "  [" << kind_name(v.kind) << "] line @0x" << std::hex << v.addr
+           << std::dec << ": " << v.detail << "\n";
+    }
+    os << "  diagnostics: redundant_pwb=" << diag_.redundant_pwb
+       << " empty_fence=" << diag_.empty_fence << " fences=" << diag_.fences
+       << " pwbs=" << diag_.pwbs << " tx=" << diag_.tx_commits << "+"
+       << diag_.tx_aborts << " aborted\n";
+    return os.str();
+}
+
+}  // namespace romulus::pmem

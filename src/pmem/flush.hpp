@@ -49,15 +49,40 @@ Profile profile();
 Profile effective_profile();
 const char* profile_name(Profile p);
 
-/// Hooks for the simulated-persistence crash model (sim_persistence.hpp).
-/// When installed, every interposed store / pwb / fence is reported so the
-/// model can maintain a shadow "what would have survived a power cut" image.
+/// When is the written-back content of a cache line captured?  Hardware may
+/// legally do either; algorithms must be correct under both (sim model and
+/// persistency checker are parameterised on it).
+enum class FlushContent {
+    AtFence,  ///< written-back content = line content when the fence runs
+    AtPwb,    ///< written-back content = line content when the pwb ran
+};
+
+/// Hooks for the simulated-persistence crash model (sim_persistence.hpp) and
+/// the persistency checker (checker.hpp).  When installed, every interposed
+/// store / pwb / fence is reported so the model can maintain a shadow "what
+/// would have survived a power cut" image.
+///
+/// The transaction-lifecycle callbacks default to no-ops so that observers
+/// interested only in the memory events (SimPersistence) need not implement
+/// them; the PersistencyChecker uses them to know when the flush/log
+/// discipline of Algorithm 1 must hold.
 class SimHooks {
   public:
     virtual ~SimHooks() = default;
     virtual void on_store(const void* addr, size_t len) = 0;
     virtual void on_pwb(const void* addr) = 0;
     virtual void on_fence() = 0;
+
+    // Transaction lifecycle (engines notify through the helpers below).
+    virtual void on_tx_begin() {}
+    virtual void on_tx_commit() {}
+    virtual void on_tx_abort() {}
+    /// Romulus-style twin-copy engines: the per-heap state field was just
+    /// stored (IDL/MUT/CPY).  Fired before the pwb of the state itself.
+    virtual void on_state_transition(uint32_t /*new_state*/) {}
+    /// A store to [addr, addr+len) is covered by the engine's log (range log
+    /// entry, undo entry, ...) and will be flushed/replayed by commit.
+    virtual void on_range_logged(const void* /*addr*/, size_t /*len*/) {}
 };
 
 void set_sim_hooks(SimHooks* hooks);
@@ -113,6 +138,25 @@ inline void on_store(const void* addr, size_t len) {
     auto& s = tl_stats();
     s.nvm_bytes += len;
     if (detail::g_sim_hooks) detail::g_sim_hooks->on_store(addr, len);
+}
+
+/// Lifecycle notifications: cheap single-branch forwards to the installed
+/// hooks.  Engines call these at the transaction boundaries (most go through
+/// the counting wrappers in core/engine_globals.hpp).
+inline void notify_tx_begin() {
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_tx_begin();
+}
+inline void notify_tx_commit() {
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_tx_commit();
+}
+inline void notify_tx_abort() {
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_tx_abort();
+}
+inline void notify_state_transition(uint32_t st) {
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_state_transition(st);
+}
+inline void notify_range_logged(const void* addr, size_t len) {
+    if (detail::g_sim_hooks) detail::g_sim_hooks->on_range_logged(addr, len);
 }
 
 }  // namespace romulus::pmem

@@ -38,10 +38,9 @@ namespace romulus::pmem {
 
 class SimPersistence final : public SimHooks {
   public:
-    enum class FlushContent {
-        AtFence,  ///< written-back content = line content when the fence runs
-        AtPwb,    ///< written-back content = line content when the pwb ran
-    };
+    // Hoisted to namespace scope (flush.hpp) so the persistency checker can
+    // share it; aliased here for source compatibility.
+    using FlushContent = romulus::pmem::FlushContent;
 
     struct Options {
         FlushContent content = FlushContent::AtFence;

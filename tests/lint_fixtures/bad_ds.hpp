@@ -1,0 +1,58 @@
+// Deliberately-buggy persistent data structure: one specimen of every
+// interposition-bypass pattern romlint knows about.  This file is NEVER
+// compiled into anything — it exists so the lint_fixtures ctest case can
+// assert that tools/romlint.py flags each violation class
+// (`romlint.py tests/lint_fixtures --expect-all-rules`).
+//
+// Each bug below is real in the sense that, under a Romulus engine, the
+// store it performs would not be range-logged / flushed / replicated and a
+// crash would silently lose or tear it.
+#pragma once
+
+#include <cstring>
+
+namespace romulus::lint_fixture {
+
+template <typename PTM>
+class BadSet {
+    template <typename T>
+    using p = typename PTM::template p<T>;
+
+    struct Node {
+        p<uint64_t> key;
+        p<Node*> next;
+        // BUG[raw-field]: an unwrapped member in a persistent node.  Stores
+        // to it never reach pstore: not logged, not flushed, not replicated.
+        uint64_t hits;
+    };
+
+    p<Node*> head_;
+
+  public:
+    void touch(Node* n) {
+        // BUG[raw-deref-write]: persist<T>::operator* hands out a raw
+        // reference; writing through it skips the engine entirely.
+        *n->key.operator*() = 42;
+    }
+
+    void wipe(Node* n) {
+        // BUG[raw-memcpy]: a direct memset over persistent bytes — must be
+        // PTM::zero_range so the engine interposes the store.
+        std::memset(n, 0, sizeof(Node));
+    }
+
+    void relink(Node* n, Node* target) {
+        // BUG[direct-pstore]: calling pstore() directly instead of assigning
+        // through the p<> member hard-codes the interposition policy and
+        // bypasses wrapper semantics (e.g. RomulusLR synthetic pointers).
+        PTM::pstore(&n->next, target);
+    }
+
+    // NOT a bug: read-direction copy with a same-line allow annotation; the
+    // fixture test relies on this staying suppressed (violation count == 4).
+    void read_out(const Node* n, void* out) {
+        std::memcpy(out, n, sizeof(Node));  // romlint: allow(raw-memcpy) read copy
+    }
+};
+
+}  // namespace romulus::lint_fixture

@@ -165,8 +165,9 @@ TEST_P(AllocStress, RandomAllocFreeKeepsHeapConsistent) {
                 }
             }
         });
-        if (step % 100 == 0)
+        if (step % 100 == 0) {
             ASSERT_GT(E::allocator().check_consistency(), 0u) << "step " << step;
+        }
     }
     // No allocation may have scribbled over another: check a sample byte.
     for (auto [p, fill] : live)

@@ -55,8 +55,13 @@ TYPED_TEST(ConcStress, ReadersNeverObserveTornMultiWordUpdates) {
             while (!stop.load(std::memory_order_relaxed)) {
                 uint64_t va = 0, vb = 0;
                 P::readTx([&] {
-                    va = pair->a.pload();
-                    vb = pair->b.pload();
+                    // Re-fetch the root inside the transaction: a raw pointer
+                    // captured outside bypasses the synthetic-pointer
+                    // redirection of RomulusLR readers (§5.3) and would read
+                    // main while the writer mutates it in place.
+                    auto* pr = P::template get_object<Pair>(0);
+                    va = pr->a.pload();
+                    vb = pr->b.pload();
                 });
                 if (va + vb != 0) torn.store(true);
                 reads.fetch_add(1);
@@ -65,7 +70,8 @@ TYPED_TEST(ConcStress, ReadersNeverObserveTornMultiWordUpdates) {
     }
     std::vector<std::thread> writers;
     for (int w = 0; w < 2; ++w) {
-        writers.emplace_back([&] {
+        // w by value: the loop variable dies before the threads finish.
+        writers.emplace_back([&, w] {
             std::mt19937_64 rng(w);
             for (int i = 0; i < 500; ++i) {
                 const uint64_t delta = rng();
@@ -83,8 +89,9 @@ TYPED_TEST(ConcStress, ReadersNeverObserveTornMultiWordUpdates) {
     EXPECT_FALSE(torn.load());
     uint64_t fa = 0, fb = 0;
     P::readTx([&] {
-        fa = pair->a.pload();
-        fb = pair->b.pload();
+        auto* pr = P::template get_object<Pair>(0);
+        fa = pr->a.pload();
+        fb = pr->b.pload();
     });
     EXPECT_EQ(fa + fb, 0u);
 }

@@ -260,7 +260,9 @@ struct MixedCrashWorkload {
             E::template get_object<romulus::ds::HashMap<E, uint64_t>>(0);
         auto* buf = E::template get_object<uint8_t>(1);
         if (completed < 0) {
-            if (map != nullptr) EXPECT_TRUE(map->check_invariants());
+            if (map != nullptr) {
+                EXPECT_TRUE(map->check_invariants());
+            }
             return;
         }
         ASSERT_NE(map, nullptr);

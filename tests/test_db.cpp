@@ -147,7 +147,9 @@ TEST_F(RomulusDbTest, RandomOpsMatchStdMap) {
                 std::string got;
                 auto it = model.find(k);
                 EXPECT_EQ(db_->get(k, &got), it != model.end());
-                if (it != model.end()) EXPECT_EQ(got, it->second);
+                if (it != model.end()) {
+                    EXPECT_EQ(got, it->second);
+                }
             }
         }
     }

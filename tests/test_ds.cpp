@@ -222,7 +222,9 @@ TYPED_TEST(DsTest, RBTreeRandomOpsMatchStdSet) {
             default:
                 ASSERT_EQ(tree->contains(k), model.count(k) > 0) << "i=" << i;
         }
-        if (i % 100 == 0) ASSERT_TRUE(tree->check_invariants()) << "i=" << i;
+        if (i % 100 == 0) {
+            ASSERT_TRUE(tree->check_invariants()) << "i=" << i;
+        }
     }
     EXPECT_EQ(tree->size(), model.size());
     EXPECT_TRUE(tree->check_invariants());

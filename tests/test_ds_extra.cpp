@@ -118,7 +118,9 @@ TYPED_TEST(DsExtra, QueueInterleavedMatchesStdDeque) {
             ASSERT_EQ(*got, model.front());
             model.pop_front();
         }
-        if (i % 128 == 0) ASSERT_TRUE(q->check_invariants());
+        if (i % 128 == 0) {
+            ASSERT_TRUE(q->check_invariants());
+        }
     }
     EXPECT_EQ(q->size(), model.size());
     P::updateTx([&] { P::tmDelete(q); });

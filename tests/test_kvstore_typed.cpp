@@ -135,7 +135,9 @@ TYPED_TEST(KvTyped, RandomOpsMatchStdMap) {
                 std::string got;
                 auto it = model.find(k);
                 ASSERT_EQ(kv->get(k, &got), it != model.end()) << i;
-                if (it != model.end()) ASSERT_EQ(got, it->second);
+                if (it != model.end()) {
+                    ASSERT_EQ(got, it->second);
+                }
             }
         }
     }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <vector>
 
 #include "core/range_log.hpp"
 #include "core/romulus.hpp"
@@ -26,8 +28,8 @@ TEST(PersistT, StackInstancesBehaveLikeRawValues) {
     --x;
     x -= 3u;
     EXPECT_EQ(x.pload(), 39u);
-    EXPECT_TRUE(x == 39u);
-    EXPECT_TRUE(x < 40u);
+    EXPECT_TRUE(x == uint64_t{39});
+    EXPECT_TRUE(x < uint64_t{40});
 
     persist<uint64_t, RomulusLog> y{x};  // copy ctor goes through pstore
     EXPECT_EQ(y.pload(), 39u);
@@ -166,4 +168,63 @@ TEST(RangeLogTest, TableOverflowFallsBackToFullCopy) {
     log.begin_tx(SIZE_MAX);
     for (size_t i = 0; i < 200; ++i) log.add(i * 64, 8);
     EXPECT_TRUE(log.full_copy());
+}
+
+// Probe-cluster crowding, as opposed to global table fill: pack more than
+// kMaxProbe colliding lines into ONE probe cluster of a mostly-empty table.
+// The overflowing add must degrade to full copy, never drop the line.
+TEST(RangeLogTest, ProbeClusterCrowdingFallsBackToFullCopy) {
+    RangeLog log(6);  // 64 slots
+    log.begin_tx(SIZE_MAX);
+    // Collect lines that all hash to the same slot (same multiplicative
+    // hash as add_line, masked to 64 slots).
+    std::vector<size_t> cluster;
+    const size_t target = (7u * 0x9E3779B97F4A7C15ull) & 63u;
+    for (size_t line = 0; cluster.size() < 40; ++line) {
+        if (((line * 0x9E3779B97F4A7C15ull) & 63u) == target)
+            cluster.push_back(line);
+    }
+    size_t added = 0;
+    for (size_t line : cluster) {
+        log.add(line * 64, 8);
+        ++added;
+        if (log.full_copy()) break;
+    }
+    // Every line before the degradation point was recorded exactly once.
+    EXPECT_TRUE(log.full_copy());
+    EXPECT_EQ(log.entries().size(), added - 1);
+    std::set<uint64_t> offs;
+    for (const auto& e : log.entries()) offs.insert(e.off);
+    EXPECT_EQ(offs.size(), log.entries().size());
+}
+
+// The 32-bit epoch counter wrapping back to the slot-vector fill value (0)
+// must not make stale/empty slots look occupied by the current transaction:
+// that would silently drop lines from the commit flush+copy (lost stores
+// after ~4 billion transactions).  begin_tx clears the table on wrap.
+TEST(RangeLogTest, EpochWrapDoesNotAliasStaleSlots) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);  // epoch 1
+    log.add(0, 8);
+    log.add(64, 8);
+    EXPECT_EQ(log.entries().size(), 2u);
+
+    log.debug_set_epoch(0xFFFFFFFFu);  // pretend 2^32 - 1 txs have run
+    log.begin_tx(SIZE_MAX);            // ++epoch wraps: table must be reset
+    EXPECT_EQ(log.debug_epoch(), 1u);
+    // Same lines as before the wrap: their old slots carry epoch tag 1,
+    // which the restarted epoch sequence reuses — without the reset they
+    // would be treated as already-logged duplicates and dropped.
+    log.add(0, 8);
+    log.add(64, 8);
+    log.add(128, 8);
+    EXPECT_FALSE(log.full_copy());
+    EXPECT_EQ(log.entries().size(), 3u);
+
+    // The sequence keeps working on the far side of the wrap.
+    log.begin_tx(SIZE_MAX);
+    EXPECT_EQ(log.debug_epoch(), 2u);
+    EXPECT_TRUE(log.entries().empty());
+    log.add(0, 8);
+    EXPECT_EQ(log.entries().size(), 1u);
 }

@@ -21,9 +21,12 @@ TEST(FlushProfile, AllProfilesSelectable) {
         EXPECT_EQ(pmem::profile(), p);
         // The effective profile is never something the CPU can't execute.
         auto eff = pmem::effective_profile();
-        if (eff == pmem::Profile::CLWB) EXPECT_TRUE(pmem::cpu_has_clwb());
-        if (eff == pmem::Profile::CLFLUSHOPT)
+        if (eff == pmem::Profile::CLWB) {
+            EXPECT_TRUE(pmem::cpu_has_clwb());
+        }
+        if (eff == pmem::Profile::CLFLUSHOPT) {
             EXPECT_TRUE(pmem::cpu_has_clflushopt());
+        }
         // Issuing the primitives must be safe whatever the hardware.
         alignas(64) char buf[128] = {};
         pmem::pwb(buf);

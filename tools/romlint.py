@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""romlint: interposition lint for Romulus persistent data structures.
+
+Every byte of persistent state must be written through the persist<T>
+interposition layer (p<T> assignment, PTM::store_range/zero_range): that is
+what guarantees the store is range-logged, flushed, and replicated by the
+engine (Algorithm 1).  A store that bypasses the wrappers compiles, runs, and
+silently produces a heap that does not survive crashes — the exact class of
+bug the PersistencyChecker (src/pmem/checker.hpp) catches at runtime.  This
+lint catches the common bypass patterns statically, at review time.
+
+Rules
+-----
+  raw-field       A struct/class that holds persistent state (i.e. has at
+                  least one p<...> member) also declares a plain, unwrapped
+                  data member.  Stores to it bypass interposition entirely.
+  raw-deref-write An assignment through a dereference (`*ptr = ...`,
+                  `(*ptr).f = ...`): persist<T>::operator* returns a raw
+                  reference, so this is the canonical way to accidentally
+                  skip pstore.
+  raw-memcpy      Direct memcpy/memmove/memset: persistent destinations must
+                  use PTM::store_range / PTM::zero_range.  Read-direction
+                  copies (persistent source, volatile destination) are fine —
+                  annotate them.
+  direct-pstore   Calling pstore() directly instead of assigning through a
+                  p<T> member: it works, but it hard-codes the interposition
+                  policy at the call site and breaks engines that need the
+                  wrapper types (e.g. synthetic-pointer redirection).
+
+Allowlist annotations
+---------------------
+A violation is suppressed by a comment on the same line or the line above:
+
+    // romlint: allow(raw-memcpy) read-direction copy out of the heap
+    std::memcpy(out, n->value_bytes(), vs);
+
+File-wide suppression (e.g. a volatile helper struct in a ds header):
+
+    // romlint: allow-file(raw-field) volatile iterator state
+
+Usage
+-----
+    romlint.py [paths...] [--expect-all-rules] [--list-rules] [-q]
+
+With no paths, scans src/ds and src/db of the repo the script lives in.
+Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
+--expect-all-rules inverts the contract for fixture tests: exit 0 only if
+every rule fired at least once.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = ("raw-field", "raw-deref-write", "raw-memcpy", "direct-pstore")
+
+ALLOW_RE = re.compile(r"romlint:\s*allow\(([a-z-,\s]+)\)")
+ALLOW_FILE_RE = re.compile(r"romlint:\s*allow-file\(([a-z-,\s]+)\)")
+
+# A p<...> / persist<...> wrapped member declaration.
+P_MEMBER_RE = re.compile(r"^\s*(?:typename\s+)?(?:[A-Za-z_]\w*::)*(?:p|persist)\s*<")
+# Start of a struct/class definition (possibly 'struct alignas(64) Name {').
+STRUCT_RE = re.compile(r"^\s*(?:struct|class)\s+(?:alignas\s*\([^)]*\)\s*)?([A-Za-z_]\w*)?[^;]*$")
+# Assignment through a dereference: a statement that starts with '*expr' or
+# '(*expr)' and contains an assignment operator (excluding ==/<=/>=/!=).
+DEREF_WRITE_RE = re.compile(
+    r"^\s*(?:\*\s*[A-Za-z_(]|\(\s*\*)[^;]*?(?<![=!<>])=(?!=)"
+)
+MEMCPY_RE = re.compile(r"(?<![\w.])(?:std\s*::\s*)?(?:memcpy|memmove|memset)\s*\(")
+PSTORE_RE = re.compile(r"(?<![\w])(?:[\w:.>-]*(?:\.|->|::))?pstore\s*(?:<[^;()]*>)?\s*\(")
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Return (code, comment, still_in_block).  String/char literals become
+    spaces in `code` so patterns never match inside them."""
+    code = []
+    comment = []
+    i, n = 0, len(line)
+    state = "block" if in_block_comment else "code"
+    quote = ""
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "block":
+            comment.append(c)
+            if c == "*" and nxt == "/":
+                comment.append(nxt)
+                i += 1
+                state = "code"
+        elif state == "str":
+            code.append(" ")
+            if c == "\\":
+                code.append(" ")
+                i += 1
+            elif c == quote:
+                state = "code"
+        else:  # code
+            if c == "/" and nxt == "/":
+                comment.append(line[i:])
+                break
+            if c == "/" and nxt == "*":
+                comment.append("/*")
+                i += 1
+                state = "block"
+            elif c in "\"'":
+                code.append(" ")
+                quote = c
+                state = "str"
+            else:
+                code.append(c)
+        i += 1
+    return "".join(code), "".join(comment), state == "block"
+
+
+def parse_allows(comment):
+    out = set()
+    for m in ALLOW_RE.finditer(comment):
+        out.update(r.strip() for r in m.group(1).split(","))
+    return out
+
+
+class Violation:
+    def __init__(self, path, line_no, rule, message):
+        self.path, self.line_no, self.rule, self.message = (
+            path, line_no, rule, message)
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def is_member_decl(code):
+    """Heuristic: does this struct-body line declare a plain data member?"""
+    s = code.strip()
+    if not s.endswith(";") or s == ";":
+        return False
+    head = s[:-1].strip()
+    if not head:
+        return False
+    # Not declarations: qualifiers, nested types, usings, functions, etc.
+    if re.match(r"^(static|constexpr|using|typedef|friend|template|enum|struct"
+                r"|class|public|private|protected|return|if|for|while|delete"
+                r"|explicit|virtual|operator|~)\b", head):
+        return False
+    # A '(' before any '=' means function declaration (or ctor-style init):
+    # not a plain member we can check.
+    eq, par = head.find("="), head.find("(")
+    if par != -1 and (eq == -1 or par < eq):
+        return False
+    # Needs a type followed by a name: two identifier-ish tokens.
+    return re.match(r"^[\w:<>,\s*&\[\]]+[\s*&]\w+\s*(\[[^\]]*\])?"
+                    r"(\s*[={].*)?$", head) is not None
+
+
+def scan_file(path, text):
+    violations = []
+    file_allows = set()
+    for m in ALLOW_FILE_RE.finditer(text):
+        file_allows.update(r.strip() for r in m.group(1).split(","))
+
+    lines = text.splitlines()
+    in_block = False
+    prev_allows = set()
+
+    # struct-tracking state: stack of (name, brace_depth_at_entry,
+    # [pending (line_no, code, allows) member decls], has_p_member)
+    depth = 0
+    struct_stack = []
+
+    for line_no, raw in enumerate(lines, 1):
+        code, comment, in_block = strip_comments_and_strings(raw, in_block)
+        allows = parse_allows(comment) | prev_allows | file_allows
+        prev_allows = parse_allows(comment) if code.strip() == "" else set()
+
+        def report(rule, message):
+            if rule not in allows:
+                violations.append(Violation(path, line_no, rule, message))
+
+        # --- expression-level rules ------------------------------------
+        if MEMCPY_RE.search(code):
+            report("raw-memcpy",
+                   "direct memcpy/memmove/memset: use PTM::store_range / "
+                   "PTM::zero_range for persistent destinations (annotate "
+                   "read-direction copies)")
+        if PSTORE_RE.search(code):
+            report("direct-pstore",
+                   "direct pstore() call: assign through the p<T> member so "
+                   "the engine's wrapper semantics apply")
+        if DEREF_WRITE_RE.search(code):
+            report("raw-deref-write",
+                   "assignment through a dereference bypasses persist<T> "
+                   "interposition (operator* returns a raw reference)")
+
+        # --- struct-level rule (raw-field) -----------------------------
+        depth_before = depth
+        sm = STRUCT_RE.match(code)
+        opened_struct = False
+        if sm and "{" in code and ";" not in code.split("{")[0]:
+            struct_stack.append({"name": sm.group(1) or "<anon>",
+                                 "entry_depth": depth_before,
+                                 "members": [], "has_p": False})
+            opened_struct = True
+        # A line at exactly entry_depth+1 is a direct body line of the
+        # innermost struct (method bodies are deeper and skipped).
+        if (struct_stack and not opened_struct and
+                depth_before == struct_stack[-1]["entry_depth"] + 1):
+            if P_MEMBER_RE.match(code):
+                struct_stack[-1]["has_p"] = True
+            elif is_member_decl(code):
+                struct_stack[-1]["members"].append((line_no, code.strip(),
+                                                    allows))
+        depth += code.count("{") - code.count("}")
+        while struct_stack and depth <= struct_stack[-1]["entry_depth"]:
+            st = struct_stack.pop()
+            if st["has_p"]:
+                for m_line, m_code, m_allows in st["members"]:
+                    if "raw-field" not in m_allows:
+                        violations.append(Violation(
+                            path, m_line, "raw-field",
+                            f"unwrapped member in persistent struct "
+                            f"'{st['name']}': `{m_code}` — wrap it in p<...> "
+                            f"or annotate if volatile by design"))
+    return violations
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files or directories to scan "
+                    "(default: src/ds and src/db of this repo)")
+    ap.add_argument("--expect-all-rules", action="store_true",
+                    help="fixture mode: exit 0 only if every rule fired")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+
+    repo = Path(__file__).resolve().parent.parent
+    roots = [Path(p) for p in args.paths] or [repo / "src" / "ds",
+                                              repo / "src" / "db"]
+    files = []
+    for r in roots:
+        if r.is_dir():
+            files.extend(sorted(p for p in r.rglob("*")
+                                if p.suffix in (".hpp", ".cpp", ".h", ".cc")))
+        elif r.is_file():
+            files.append(r)
+        else:
+            print(f"romlint: no such path: {r}", file=sys.stderr)
+            return 2
+
+    all_violations = []
+    for f in files:
+        try:
+            text = f.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"romlint: cannot read {f}: {e}", file=sys.stderr)
+            return 2
+        all_violations.extend(scan_file(f, text))
+
+    for v in all_violations:
+        print(v)
+    fired = {v.rule for v in all_violations}
+    if args.expect_all_rules:
+        missing = [r for r in RULES if r not in fired]
+        if missing:
+            print(f"romlint: rules that did not fire: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"romlint: all {len(RULES)} rules fired "
+                  f"({len(all_violations)} violations) as expected")
+        return 0
+    if all_violations:
+        print(f"romlint: {len(all_violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"romlint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
