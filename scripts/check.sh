@@ -8,6 +8,8 @@
 #   werror    strict build: -Wall -Wextra -Werror (ROMULUS_WERROR=ON), no tests
 #   asan      ASan/UBSan build (ROMULUS_SANITIZE=ON) + full ctest
 #   tsan      TSan build (ROMULUS_TSAN=ON) + targeted concurrency tests
+#   race      romrace build (ROMULUS_RACECHECK=ON) + full ctest, including
+#             the positive-detection fixtures and the armed clean-suite run
 #
 # Each leg uses its own build directory (build-check-<leg>) so the matrix
 # never dirties the developer's ./build tree.
@@ -16,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 NPROC=$(nproc 2>/dev/null || echo 4)
 LEGS=("$@")
-[ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan)
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan race)
 
 configure_build() { # <dir> <cmake-flags...>
     local dir=$1
@@ -59,8 +61,16 @@ run_leg() {
             --gtest_filter='SpinLockTest*:ThreadRegistryTest*:ReadIndicatorTest*:CRWWPTest*:FlatCombiningTest*:LeftRightTest*' \
             --gtest_brief=1
         ;;
+    race)
+        # romrace leg: the happens-before detector the fixed-address heaps
+        # keep TSan out of (see tsan leg above).  Runs the whole suite plus
+        # the detector-specific cases: the broken-sync fixtures must be
+        # detected and the armed clean-suite stress run must stay silent.
+        configure_build "$dir" -DROMULUS_RACECHECK=ON
+        (cd "$dir" && ctest --output-on-failure)
+        ;;
     *)
-        echo "unknown leg: $leg (default|werror|asan|tsan)" >&2
+        echo "unknown leg: $leg (default|werror|asan|tsan|race)" >&2
         return 2
         ;;
     esac

@@ -1,0 +1,412 @@
+#include "analysis/race_detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace romulus::analysis {
+
+namespace {
+
+// Transaction context of the current thread (a string literal set by the
+// engines' tx lifecycle hooks; nullptr = outside any transaction).
+thread_local const char* tl_tx_kind = nullptr;
+
+const char* state_name(uint32_t st) {
+    switch (st) {
+        case 0: return "IDLE";
+        case 1: return "MUTATING";
+        case 2: return "COPYING";
+        default: return "?";
+    }
+}
+
+}  // namespace
+
+RaceDetector& RaceDetector::instance() {
+    static RaceDetector d;
+    return d;
+}
+
+void RaceDetector::enable(const Options& opts) {
+    std::lock_guard lk(mu_);
+    opts_ = opts;
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void RaceDetector::disable() {
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+void RaceDetector::reset() {
+    std::lock_guard lk(mu_);
+    for (auto& vc : threads_) vc = VectorClock{};
+    sync_vc_.clear();
+    shadow_.clear();
+    regions_.clear();
+    region_names_.clear();
+    reports_.clear();
+    dropped_reports_ = 0;
+    trace_.clear();
+    seq_ = 0;
+}
+
+// ---------------------------------------------------------------- regions
+
+void RaceDetector::register_region(const void* base, size_t size,
+                                   const char* name, const char* part,
+                                   const std::atomic<uint32_t>* state_word) {
+    if (!enabled()) return;
+    std::lock_guard lk(mu_);
+    const auto b = reinterpret_cast<uintptr_t>(base);
+    // Re-registration of the same base (engine re-init) replaces the entry.
+    regions_.erase(std::remove_if(regions_.begin(), regions_.end(),
+                                  [&](const Region& r) { return r.base == b; }),
+                   regions_.end());
+    std::string full = std::string(name) + "." + part;
+    region_names_.push_back(full);
+    regions_.push_back(Region{b, size, std::move(full),
+                              int(region_names_.size()) - 1, state_word});
+}
+
+void RaceDetector::unregister_region(const void* base) {
+    if (!enabled()) return;
+    std::lock_guard lk(mu_);
+    const auto b = reinterpret_cast<uintptr_t>(base);
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+        if (it->base != b) continue;
+        const uintptr_t lo = it->base, hi = it->base + it->size;
+        for (auto s = shadow_.begin(); s != shadow_.end();) {
+            if (s->first >= lo && s->first < hi)
+                s = shadow_.erase(s);
+            else
+                ++s;
+        }
+        regions_.erase(it);
+        return;
+    }
+}
+
+const RaceDetector::Region* RaceDetector::find_region(uintptr_t addr) const {
+    for (const auto& r : regions_)
+        if (addr >= r.base && addr < r.base + r.size) return &r;
+    return nullptr;
+}
+
+// ----------------------------------------------------------------- events
+
+VectorClock& RaceDetector::thread_vc(int t) {
+    VectorClock& vc = threads_[size_t(t)];
+    if (vc.c[size_t(t)] == 0) vc.c[size_t(t)] = 1;  // first event of this slot
+    return vc;
+}
+
+RaceDetector::LastAccess RaceDetector::make_access(int tid, bool is_write,
+                                                   uintptr_t addr, size_t len,
+                                                   const Region* reg) {
+    LastAccess a;
+    a.tid = tid;
+    a.seq = ++seq_;
+    a.addr = addr;
+    a.len = uint32_t(len);
+    a.tx_kind = tl_tx_kind;
+    a.region_id = reg->name_id;
+    if (reg->state_word != nullptr) {
+        a.heap_state = reg->state_word->load(std::memory_order_relaxed);
+        a.has_state = true;
+    }
+    (void)is_write;
+    return a;
+}
+
+RaceDetector::AccessSite RaceDetector::materialize(const LastAccess& a,
+                                                   bool is_write) const {
+    AccessSite s;
+    s.tid = a.tid;
+    s.is_write = is_write;
+    s.addr = a.addr;
+    s.len = a.len;
+    s.seq = a.seq;
+    s.tx_kind = a.tx_kind ? a.tx_kind : "-";
+    s.heap_state = a.heap_state;
+    s.has_state = a.has_state;
+    if (a.region_id >= 0 && size_t(a.region_id) < region_names_.size()) {
+        s.region = region_names_[size_t(a.region_id)];
+        // Recompute the offset from the live region table when possible.
+        for (const auto& r : regions_) {
+            if (a.addr >= r.base && a.addr < r.base + r.size) {
+                s.region_off = a.addr - r.base;
+                break;
+            }
+        }
+    } else {
+        s.region = "?";
+    }
+    return s;
+}
+
+void RaceDetector::record_race(const char* kind, const LastAccess& prev,
+                               bool prev_write, const LastAccess& cur,
+                               bool cur_write) {
+    if (reports_.size() >= opts_.max_reports) {
+        ++dropped_reports_;
+        return;
+    }
+    Report r;
+    r.kind = kind;
+    r.prev = materialize(prev, prev_write);
+    r.cur = materialize(cur, cur_write);
+    reports_.push_back(std::move(r));
+}
+
+void RaceDetector::read_locked(int t, const void* addr, size_t len) {
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    const Region* reg = find_region(a);
+    if (reg == nullptr || len == 0) return;
+    VectorClock& C = thread_vc(t);
+    const uintptr_t first = a & ~uintptr_t{7};
+    const uintptr_t last = (a + len - 1) & ~uintptr_t{7};
+    for (uintptr_t w = first; w <= last; w += 8) {
+        Shadow& cell = shadow_[w];
+        LastAccess acc = make_access(t, /*is_write=*/false, a, len, reg);
+        if (cell.w != 0 && !ordered(cell.w, C))
+            record_race("write-then-read", cell.last_w, true, acc, false);
+        // FastTrack read recording: keep a single epoch while reads are
+        // totally ordered; promote to a full vector clock otherwise.
+        if (cell.rvc) {
+            cell.rvc->c[size_t(t)] = C.c[size_t(t)];
+        } else if (cell.r == 0 || epoch_tid(cell.r) == t ||
+                   ordered(cell.r, C)) {
+            cell.r = make_epoch(t, C.c[size_t(t)]);
+        } else {
+            cell.rvc = std::make_unique<VectorClock>();
+            cell.rvc->c[size_t(epoch_tid(cell.r))] = epoch_clock(cell.r);
+            cell.rvc->c[size_t(t)] = C.c[size_t(t)];
+            cell.r = 0;
+        }
+        cell.last_r = acc;
+    }
+}
+
+void RaceDetector::write_locked(int t, const void* addr, size_t len) {
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    const Region* reg = find_region(a);
+    if (reg == nullptr || len == 0) return;
+    VectorClock& C = thread_vc(t);
+    const uintptr_t first = a & ~uintptr_t{7};
+    const uintptr_t last = (a + len - 1) & ~uintptr_t{7};
+    for (uintptr_t w = first; w <= last; w += 8) {
+        Shadow& cell = shadow_[w];
+        LastAccess acc = make_access(t, /*is_write=*/true, a, len, reg);
+        if (cell.w != 0 && !ordered(cell.w, C))
+            record_race("write-write", cell.last_w, true, acc, true);
+        if (cell.rvc) {
+            for (int u = 0; u < sync::kMaxThreads; ++u) {
+                if (u != t && cell.rvc->c[size_t(u)] > C.c[size_t(u)]) {
+                    record_race("read-then-write", cell.last_r, false, acc,
+                                true);
+                    break;
+                }
+            }
+        } else if (cell.r != 0 && !ordered(cell.r, C)) {
+            record_race("read-then-write", cell.last_r, false, acc, true);
+        }
+        cell.w = make_epoch(t, C.c[size_t(t)]);
+        cell.r = 0;
+        cell.rvc.reset();
+        cell.last_w = acc;
+    }
+}
+
+void RaceDetector::acquire_locked(int t, const void* obj, const char* label) {
+    auto it = sync_vc_.find(obj);
+    if (it != sync_vc_.end()) thread_vc(t).join(it->second);
+    if (opts_.record_trace) trace_.push_back({true, obj, t, label});
+}
+
+void RaceDetector::release_locked(int t, const void* obj, const char* label) {
+    VectorClock& C = thread_vc(t);
+    // Join (not copy): several threads may release into the same object
+    // (read indicators, shared locks).  Extra edges are conservative — they
+    // can only suppress a report, never invent one.
+    sync_vc_[obj].join(C);
+    C.c[size_t(t)]++;
+    if (opts_.record_trace) trace_.push_back({false, obj, t, label});
+}
+
+void RaceDetector::on_read(const void* addr, size_t len) {
+    const int t = sync::tid();
+    std::lock_guard lk(mu_);
+    read_locked(t, addr, len);
+}
+
+void RaceDetector::on_write(const void* addr, size_t len) {
+    const int t = sync::tid();
+    std::lock_guard lk(mu_);
+    write_locked(t, addr, len);
+}
+
+void RaceDetector::on_acquire(const void* obj, const char* label) {
+    const int t = sync::tid();
+    std::lock_guard lk(mu_);
+    acquire_locked(t, obj, label);
+}
+
+void RaceDetector::on_release(const void* obj, const char* label) {
+    const int t = sync::tid();
+    std::lock_guard lk(mu_);
+    release_locked(t, obj, label);
+}
+
+void RaceDetector::on_acquire_tid(const void* obj, const char* label,
+                                  int tid) {
+    std::lock_guard lk(mu_);
+    acquire_locked(tid, obj, label);
+}
+
+void RaceDetector::on_release_tid(const void* obj, const char* label,
+                                  int tid) {
+    std::lock_guard lk(mu_);
+    release_locked(tid, obj, label);
+}
+
+bool RaceDetector::on_optimistic_read(const void* stripe, const void* addr,
+                                      size_t len, uint64_t observed,
+                                      const std::atomic<uint64_t>* lock_word) {
+    const int t = sync::tid();
+    std::lock_guard lk(mu_);
+    if (lock_word->load(std::memory_order_seq_cst) != observed) return false;
+    // Acquire first (a committed writer's step-6 release orders its applies
+    // before this read), then record the read, then release.  The release
+    // must come last: it bumps this thread's clock, so recording the read
+    // after it would stamp an epoch the stripe's sync clock never carries
+    // and a correctly-synchronised committer would be flagged.
+    acquire_locked(t, stripe, "redo.validate");
+    read_locked(t, addr, len);
+    release_locked(t, stripe, "redo.validate");
+    return true;
+}
+
+void RaceDetector::set_tx_context(const char* kind) { tl_tx_kind = kind; }
+
+// ---------------------------------------------------------------- results
+
+size_t RaceDetector::race_count() const {
+    std::lock_guard lk(mu_);
+    return reports_.size() + dropped_reports_;
+}
+
+std::vector<RaceDetector::Report> RaceDetector::reports() const {
+    std::lock_guard lk(mu_);
+    return reports_;
+}
+
+std::string RaceDetector::report_text() const {
+    std::lock_guard lk(mu_);
+    if (reports_.empty() && dropped_reports_ == 0) return "no races detected";
+    std::ostringstream os;
+    for (size_t i = 0; i < reports_.size(); ++i)
+        os << "race #" << (i + 1) << " " << reports_[i].to_string() << "\n";
+    if (dropped_reports_ > 0)
+        os << "(" << dropped_reports_ << " further report(s) dropped)\n";
+    return os.str();
+}
+
+std::vector<RaceDetector::SyncEvent> RaceDetector::trace() const {
+    std::lock_guard lk(mu_);
+    return trace_;
+}
+
+std::vector<RaceDetector::SyncEvent> RaceDetector::trace_for(
+    const void* obj) const {
+    std::lock_guard lk(mu_);
+    std::vector<SyncEvent> out;
+    for (const auto& e : trace_)
+        if (e.obj == obj) out.push_back(e);
+    return out;
+}
+
+void RaceDetector::clear_trace() {
+    std::lock_guard lk(mu_);
+    trace_.clear();
+}
+
+std::string RaceDetector::AccessSite::to_string() const {
+    std::ostringstream os;
+    os << "T" << tid << " " << (is_write ? "write" : "read ") << " " << len
+       << "B @ " << region << "[0x" << std::hex << region_off << std::dec
+       << "] tx=" << tx_kind;
+    if (has_state) os << " heap-state=" << state_name(heap_state);
+    os << " (seq " << seq << ")";
+    return os.str();
+}
+
+std::string RaceDetector::Report::to_string() const {
+    std::ostringstream os;
+    os << "(" << kind << ") on " << cur.region << "[0x" << std::hex
+       << cur.region_off << std::dec << "]:\n"
+       << "  prev: " << prev.to_string() << "\n"
+       << "  cur:  " << cur.to_string() << "\n"
+       << "  hint: no happens-before edge connects the two accesses — a "
+          "release/acquire\n"
+          "        chain (lock hand-off, Left-Right publication+drain, "
+          "flat-combining\n"
+          "        hand-off) is missing between them.";
+    return os.str();
+}
+
+// ---------------------------------------------------------------- funnels
+
+void race_read(const void* addr, size_t len) {
+    RaceDetector& d = RaceDetector::instance();
+    if (d.enabled()) d.on_read(addr, len);
+}
+
+void race_write(const void* addr, size_t len) {
+    RaceDetector& d = RaceDetector::instance();
+    if (d.enabled()) d.on_write(addr, len);
+}
+
+void race_acquire(const void* obj, const char* label) {
+    RaceDetector& d = RaceDetector::instance();
+    if (d.enabled()) d.on_acquire(obj, label);
+}
+
+void race_release(const void* obj, const char* label) {
+    RaceDetector& d = RaceDetector::instance();
+    if (d.enabled()) d.on_release(obj, label);
+}
+
+void race_thread_acquire(const void* obj, const char* label, int tid) {
+    RaceDetector& d = RaceDetector::instance();
+    if (d.enabled()) d.on_acquire_tid(obj, label, tid);
+}
+
+void race_thread_release(const void* obj, const char* label, int tid) {
+    RaceDetector& d = RaceDetector::instance();
+    if (d.enabled()) d.on_release_tid(obj, label, tid);
+}
+
+bool race_optimistic_read(const void* stripe, const void* addr, size_t len,
+                          uint64_t observed,
+                          const std::atomic<uint64_t>* lock_word) {
+    RaceDetector& d = RaceDetector::instance();
+    if (!d.enabled()) return true;
+    return d.on_optimistic_read(stripe, addr, len, observed, lock_word);
+}
+
+void race_set_tx(const char* kind) {
+    RaceDetector::instance().set_tx_context(kind);
+}
+
+void race_register_region(const void* base, size_t size, const char* name,
+                          const char* part, const void* state_word) {
+    RaceDetector::instance().register_region(
+        base, size, name, part,
+        static_cast<const std::atomic<uint32_t>*>(state_word));
+}
+
+void race_unregister_region(const void* base) {
+    RaceDetector::instance().unregister_region(base);
+}
+
+}  // namespace romulus::analysis

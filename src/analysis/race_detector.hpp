@@ -1,0 +1,248 @@
+// romrace: a happens-before data-race detector for the persistent heaps
+// (docs/race_detector.md).
+//
+// TSan cannot see races on persistent data: its shadow memory reserves the
+// address ranges the engines' fixed heap mappings (and the kernel-chosen
+// fallback) land in, so the TSan leg of scripts/check.sh only covers the
+// volatile synchronisation layer.  This detector closes that hole at the
+// interposition layer: every persistent access already funnels through
+// persist<T>::pload/pstore, and every happens-before edge the paper's
+// correctness argument relies on (§3-§4: C-RW-WP acquire/release, Left-Right
+// versionIndex publication, flat-combining handoff) maps onto a small set of
+// acquire/release annotations threaded through src/sync.
+//
+// Algorithm: vector-clock happens-before with the FastTrack epoch
+// optimisation (Flanagan & Freund, PLDI'09).  Per 8-byte word of every
+// registered region the detector keeps a shadow cell holding the last-writer
+// epoch and either the last-reader epoch (the common same-thread /
+// lock-ordered case) or a promoted full read vector clock (concurrent
+// readers).  A write must happen-after the previous write and every recorded
+// read; a read must happen-after the previous write.  Anything else is a
+// race, reported with both access sites and the engine's transaction context
+// (tx kind, heap state word).
+//
+// The detector is an observer behind one global mutex: correctness-checking
+// builds only (ROMULUS_RACECHECK), never the default build's hot path.  When
+// the compile option is off, the hook macros in analysis/race_hooks.hpp
+// expand to nothing; when on but the detector is disabled (the default at
+// runtime), every hook is one relaxed atomic load.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sync/thread_registry.hpp"
+
+namespace romulus::analysis {
+
+using Clock = uint32_t;
+
+/// One logical clock per registered thread slot (sync::thread_registry).
+/// Slot recycling is deliberately benign: a thread reusing a dead thread's
+/// slot continues its clock, which merges the two histories — conservative
+/// (can only hide races across the reuse, never invent one).
+struct VectorClock {
+    std::array<Clock, sync::kMaxThreads> c{};
+
+    void join(const VectorClock& o) {
+        for (int i = 0; i < sync::kMaxThreads; ++i)
+            if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+};
+
+class RaceDetector {
+  public:
+    struct Options {
+        /// Record every acquire/release annotation into an inspectable trace
+        /// (the annotation-contract unit tests assert on these sequences).
+        bool record_trace = false;
+        /// Stop recording new reports beyond this many (state keeps
+        /// advancing, so later accesses are still checked).
+        size_t max_reports = 64;
+    };
+
+    /// One racing access, with enough engine context that a report reads as
+    /// "reader observed main[] while writer in MUTATING" rather than two
+    /// bare addresses.
+    struct AccessSite {
+        int tid = -1;
+        bool is_write = false;
+        uintptr_t addr = 0;
+        uint32_t len = 0;
+        std::string region;    ///< "<engine>.<main|back|heap>" or "?"
+        uintptr_t region_off = 0;
+        std::string tx_kind;   ///< "update-tx", "read-tx(back)", ... or "-"
+        uint32_t heap_state = 0;  ///< engine state word (TxState) at access
+        bool has_state = false;
+        uint64_t seq = 0;      ///< global event sequence number
+        std::string to_string() const;
+    };
+
+    struct Report {
+        AccessSite prev, cur;
+        const char* kind;  ///< "write-write" | "read-then-write" | "write-then-read"
+        std::string to_string() const;
+    };
+
+    struct SyncEvent {
+        bool is_acquire;
+        const void* obj;
+        int tid;
+        const char* label;
+    };
+
+    static RaceDetector& instance();
+
+    void enable() { enable(Options{}); }
+    void enable(const Options& opts);
+    void disable();
+    /// Drop all shadow state, sync-object clocks, thread clocks, regions,
+    /// reports and trace.  Call between independent test scenarios.
+    void reset();
+    bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    // ------------------------------------------------------------- regions
+
+    /// Track [base, base+size) under "<name>.<part>".  Accesses outside every
+    /// registered region are ignored (stack-resident persist<T> instances and
+    /// engine headers generate no events).  `state_word`, if non-null, is
+    /// loaded at every access to stamp the engine's TxState into the site.
+    void register_region(const void* base, size_t size, const char* name,
+                         const char* part,
+                         const std::atomic<uint32_t>* state_word);
+    /// Remove the region *and erase its shadow cells*, so a later engine
+    /// re-mapping the same fixed address starts clean.
+    void unregister_region(const void* base);
+
+    // -------------------------------------------------------------- events
+
+    void on_read(const void* addr, size_t len);
+    void on_write(const void* addr, size_t len);
+    void on_acquire(const void* obj, const char* label);
+    void on_release(const void* obj, const char* label);
+    /// thread_registry hooks: the tid is passed explicitly because these run
+    /// while the calling thread's tid slot is still being constructed.
+    void on_acquire_tid(const void* obj, const char* label, int tid);
+    void on_release_tid(const void* obj, const char* label, int tid);
+
+    /// Optimistic-read event for TL2-style engines (RedoLogPTM): atomically
+    /// re-validates the stripe's lock word against `observed` *inside* the
+    /// detector's mutex and only then records acquire+release on the stripe
+    /// and the read itself.  Returns false (record nothing) if the word
+    /// changed — the caller must abort the transaction, exactly as it would
+    /// on a failed l1/l2 validation.  Without the combined re-check, a
+    /// writer locking the stripe between the caller's validation and the
+    /// detector call could record its write first and produce a false race.
+    bool on_optimistic_read(const void* stripe, const void* addr, size_t len,
+                            uint64_t observed,
+                            const std::atomic<uint64_t>* lock_word);
+
+    /// Set this thread's transaction-context label (a string literal;
+    /// nullptr = outside any transaction).  Stamped into access sites.
+    void set_tx_context(const char* kind);
+
+    // ------------------------------------------------------------- results
+
+    size_t race_count() const;
+    std::vector<Report> reports() const;
+    std::string report_text() const;  ///< all reports, human-readable
+    std::vector<SyncEvent> trace() const;
+    std::vector<SyncEvent> trace_for(const void* obj) const;
+    void clear_trace();
+
+  private:
+    // FastTrack epoch: (tid << 32) | clock; 0 = no recorded access.
+    using Epoch = uint64_t;
+    static Epoch make_epoch(int tid, Clock c) {
+        return (Epoch(uint32_t(tid)) << 32) | c;
+    }
+    static int epoch_tid(Epoch e) { return int(e >> 32); }
+    static Clock epoch_clock(Epoch e) { return Clock(e); }
+    static bool ordered(Epoch e, const VectorClock& vc) {
+        return epoch_clock(e) <= vc.c[epoch_tid(e)];
+    }
+
+    struct Region {
+        uintptr_t base;
+        size_t size;
+        std::string name;  ///< "<engine>.<part>"
+        int name_id;       ///< index into region_names_ (stable, append-only)
+        const std::atomic<uint32_t>* state_word;
+    };
+
+    // Compact per-access record kept in shadow cells; tx_kind is a string
+    // literal (static lifetime), region is an index into region_names_
+    // (append-only, survives unregistration so old reports stay printable).
+    struct LastAccess {
+        int tid = -1;
+        uint64_t seq = 0;
+        uintptr_t addr = 0;
+        uint32_t len = 0;
+        int region_id = -1;
+        const char* tx_kind = nullptr;
+        uint32_t heap_state = 0;
+        bool has_state = false;
+    };
+
+    struct Shadow {
+        Epoch w = 0;  ///< last write
+        Epoch r = 0;  ///< last read (exclusive); 0 when none or promoted
+        std::unique_ptr<VectorClock> rvc;  ///< promoted concurrent reads
+        LastAccess last_w, last_r;
+    };
+
+    VectorClock& thread_vc(int t);
+    const Region* find_region(uintptr_t addr) const;
+    LastAccess make_access(int tid, bool is_write, uintptr_t addr, size_t len,
+                           const Region* reg);
+    AccessSite materialize(const LastAccess& a, bool is_write) const;
+    void record_race(const char* kind, const LastAccess& prev, bool prev_write,
+                     const LastAccess& cur, bool cur_write);
+    void read_locked(int t, const void* addr, size_t len);
+    void write_locked(int t, const void* addr, size_t len);
+    void acquire_locked(int t, const void* obj, const char* label);
+    void release_locked(int t, const void* obj, const char* label);
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    Options opts_;
+    std::array<VectorClock, sync::kMaxThreads> threads_{};
+    std::unordered_map<const void*, VectorClock> sync_vc_;
+    std::unordered_map<uintptr_t, Shadow> shadow_;  ///< keyed by word address
+    std::vector<Region> regions_;
+    std::vector<std::string> region_names_;
+    std::vector<Report> reports_;
+    size_t dropped_reports_ = 0;
+    std::vector<SyncEvent> trace_;
+    uint64_t seq_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Free funnels used by the ROMULUS_RACE_* hook macros (and directly by
+// tests).  Each is a cheap no-op while the detector is disabled.
+// ---------------------------------------------------------------------------
+
+void race_read(const void* addr, size_t len);
+void race_write(const void* addr, size_t len);
+void race_acquire(const void* obj, const char* label);
+void race_release(const void* obj, const char* label);
+void race_thread_acquire(const void* obj, const char* label, int tid);
+void race_thread_release(const void* obj, const char* label, int tid);
+bool race_optimistic_read(const void* stripe, const void* addr, size_t len,
+                          uint64_t observed,
+                          const std::atomic<uint64_t>* lock_word);
+void race_set_tx(const char* kind);
+void race_register_region(const void* base, size_t size, const char* name,
+                          const char* part, const void* state_word);
+void race_unregister_region(const void* base);
+
+}  // namespace romulus::analysis

@@ -1,0 +1,109 @@
+// Hook macros for the romrace happens-before detector
+// (analysis/race_detector.hpp, docs/race_detector.md).
+//
+// The sync primitives and the PTM engines are annotated with these macros.
+// With -DROMULUS_RACECHECK (the `race` leg of scripts/check.sh) they funnel
+// into RaceDetector; otherwise they expand to nothing, so the default build
+// carries zero overhead — no call, no branch, no include of the detector.
+//
+// Annotation contract (what keeps event order sound without holding the
+// detector's mutex across the primitive's own atomics):
+//   * RELEASE annotations run immediately BEFORE the store that publishes
+//     (unlock store, read-indicator decrement, slot store, read_region
+//     store).  By the time any other thread can observe the store, the
+//     release is fully recorded.
+//   * ACQUIRE annotations run immediately AFTER the load/RMW that observes
+//     (successful lock exchange, writer-flag check, drain completion,
+//     read_region load, slot load).  The matching release is therefore
+//     always recorded first.
+// TL2-style optimistic reads cannot follow this discipline (nothing is ever
+// "held"), so they use ROMULUS_RACE_OPTIMISTIC_READ, which re-validates the
+// stripe's version word inside the detector's mutex.
+#pragma once
+
+#ifdef ROMULUS_RACECHECK
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace romulus::analysis {
+void race_read(const void* addr, std::size_t len);
+void race_write(const void* addr, std::size_t len);
+void race_acquire(const void* obj, const char* label);
+void race_release(const void* obj, const char* label);
+void race_thread_acquire(const void* obj, const char* label, int tid);
+void race_thread_release(const void* obj, const char* label, int tid);
+bool race_optimistic_read(const void* stripe, const void* addr,
+                          std::size_t len, std::uint64_t observed,
+                          const std::atomic<std::uint64_t>* lock_word);
+void race_set_tx(const char* kind);
+void race_register_region(const void* base, std::size_t size,
+                          const char* name, const char* part,
+                          const void* state_word);
+void race_unregister_region(const void* base);
+
+/// RAII: sets the thread's tx-context label, restores "outside tx" on exit.
+struct ScopedTx {
+    explicit ScopedTx(const char* kind) { race_set_tx(kind); }
+    ~ScopedTx() { race_set_tx(nullptr); }
+    ScopedTx(const ScopedTx&) = delete;
+    ScopedTx& operator=(const ScopedTx&) = delete;
+};
+
+/// RAII: emits a release annotation on scope exit (exception-safe pairing
+/// with an acquire taken at lock-acquisition time).
+struct ScopedRelease {
+    const void* obj;
+    const char* label;
+    ScopedRelease(const void* o, const char* l) : obj(o), label(l) {}
+    ~ScopedRelease() { race_release(obj, label); }
+    ScopedRelease(const ScopedRelease&) = delete;
+    ScopedRelease& operator=(const ScopedRelease&) = delete;
+};
+}  // namespace romulus::analysis
+
+#define ROMULUS_RACE_READ(addr, len) ::romulus::analysis::race_read((addr), (len))
+#define ROMULUS_RACE_WRITE(addr, len) \
+    ::romulus::analysis::race_write((addr), (len))
+#define ROMULUS_RACE_ACQUIRE(obj, label) \
+    ::romulus::analysis::race_acquire((obj), (label))
+#define ROMULUS_RACE_RELEASE(obj, label) \
+    ::romulus::analysis::race_release((obj), (label))
+#define ROMULUS_RACE_THREAD_ACQUIRE(obj, label, tid) \
+    ::romulus::analysis::race_thread_acquire((obj), (label), (tid))
+#define ROMULUS_RACE_THREAD_RELEASE(obj, label, tid) \
+    ::romulus::analysis::race_thread_release((obj), (label), (tid))
+#define ROMULUS_RACE_OPTIMISTIC_READ(stripe, addr, len, observed, lock_word) \
+    ::romulus::analysis::race_optimistic_read((stripe), (addr), (len),       \
+                                              (observed), (lock_word))
+#define ROMULUS_RACE_TX_BEGIN(kind) ::romulus::analysis::race_set_tx((kind))
+#define ROMULUS_RACE_TX_END() ::romulus::analysis::race_set_tx(nullptr)
+#define ROMULUS_RACE_SCOPED_TX(kind) \
+    ::romulus::analysis::ScopedTx romulus_race_tx_guard_ { (kind) }
+#define ROMULUS_RACE_SCOPED_RELEASE(obj, label) \
+    ::romulus::analysis::ScopedRelease romulus_race_rel_guard_ { (obj), (label) }
+#define ROMULUS_RACE_REGISTER_REGION(base, size, name, part, state) \
+    ::romulus::analysis::race_register_region((base), (size), (name), (part), \
+                                              (state))
+#define ROMULUS_RACE_UNREGISTER_REGION(base) \
+    ::romulus::analysis::race_unregister_region((base))
+
+#else  // !ROMULUS_RACECHECK — every hook vanishes entirely.
+
+#define ROMULUS_RACE_READ(addr, len) ((void)0)
+#define ROMULUS_RACE_WRITE(addr, len) ((void)0)
+#define ROMULUS_RACE_ACQUIRE(obj, label) ((void)0)
+#define ROMULUS_RACE_RELEASE(obj, label) ((void)0)
+#define ROMULUS_RACE_THREAD_ACQUIRE(obj, label, tid) ((void)0)
+#define ROMULUS_RACE_THREAD_RELEASE(obj, label, tid) ((void)0)
+#define ROMULUS_RACE_OPTIMISTIC_READ(stripe, addr, len, observed, lock_word) \
+    (true)
+#define ROMULUS_RACE_TX_BEGIN(kind) ((void)0)
+#define ROMULUS_RACE_TX_END() ((void)0)
+#define ROMULUS_RACE_SCOPED_TX(kind) ((void)0)
+#define ROMULUS_RACE_SCOPED_RELEASE(obj, label) ((void)0)
+#define ROMULUS_RACE_REGISTER_REGION(base, size, name, part, state) ((void)0)
+#define ROMULUS_RACE_UNREGISTER_REGION(base) ((void)0)
+
+#endif  // ROMULUS_RACECHECK

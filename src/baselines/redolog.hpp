@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "alloc/pallocator.hpp"
+#include "analysis/race_hooks.hpp"
 #include "baselines/redo_clock.hpp"
 #include "core/engine_globals.hpp"
 #include "core/persist.hpp"
@@ -87,14 +88,22 @@ class RedoLogPTM {
             format();
         }
         s.alloc.attach(&s.meta->alloc_meta, pool_base(), pool_size());
+        // Only *transactional* accesses are instrumented for this engine
+        // (see the hooks in read_word/tx_commit): with per-stripe happens-
+        // before edges, modelling the raw non-tx accesses would produce
+        // false positives.  The registration still scopes the shadow cells.
+        ROMULUS_RACE_REGISTER_REGION(s.heap, s.heap_size, "RedoLog", "heap",
+                                     nullptr);
         s.initialized = true;
     }
 
     static void close() {
+        ROMULUS_RACE_UNREGISTER_REGION(s.heap);
         s.region.unmap();
         s.initialized = false;
     }
     static void destroy() {
+        ROMULUS_RACE_UNREGISTER_REGION(s.heap);
         s.region.destroy();
         s.initialized = false;
     }
@@ -230,6 +239,7 @@ class RedoLogPTM {
             try {
                 f();
                 tl.active = false;  // read-only: nothing to commit
+                ROMULUS_RACE_TX_END();
                 return;
             } catch (const TxAbort&) {
                 tx_rollback();
@@ -495,6 +505,13 @@ class RedoLogPTM {
         const uint64_t l2 = lk.load(std::memory_order_seq_cst);
         if (l1 != l2 || (l1 >> 1) > tl.rv) abort_tx();
         tl.rs.emplace_back(&lk, l1);
+        // Optimistic reads can't follow the acquire-after-observe contract
+        // (nothing is held), so the detector re-validates the stripe version
+        // inside its own mutex; a concurrent lock/version change means the
+        // event order would be unsound — abort and retry instead.
+        if (!ROMULUS_RACE_OPTIMISTIC_READ(&lk, reinterpret_cast<const void*>(wa),
+                                          8, l1, &lk))
+            abort_tx();
         return v;
     }
 
@@ -508,12 +525,14 @@ class RedoLogPTM {
         // Read-only transactions never reach the durability protocol, so the
         // lifecycle observers only hear about update transactions.
         if (!read_only) tx_begin_hook();
+        ROMULUS_RACE_TX_BEGIN(read_only ? "read-tx" : "update-tx");
     }
 
     static void tx_rollback() {
         release_owned();
         tl.active = false;
         if (!tl.read_only) tx_abort_hook();
+        ROMULUS_RACE_TX_END();
     }
 
     static void backoff(int retries) {
@@ -534,6 +553,7 @@ class RedoLogPTM {
         if (tl.ws.size() == 0) {  // read-only or empty
             tl.active = false;
             tx_commit_hook();
+            ROMULUS_RACE_TX_END();
             return;
         }
         // 1. Acquire every stripe lock covering the write set.
@@ -551,6 +571,7 @@ class RedoLogPTM {
                 abort_tx();
             }
             tl.owned.emplace_back(&lk, cur);
+            ROMULUS_RACE_ACQUIRE(&lk, "redo.stripe_lock");
         }
         // 2. New commit version.
         const uint64_t wv =
@@ -586,10 +607,12 @@ class RedoLogPTM {
         pmem::on_store(&log.marker, 8);
         pmem::pwb(&log.marker);
         pmem::pfence();  // commit point: durable from here
-        // 5. Apply in place.
+        // 5. Apply in place.  The write events fire here — this is where the
+        // buffered stores actually touch the heap, under the stripe locks.
         for (size_t i = 0; i < n; ++i) {
             const auto& slot = tl.ws.table[tl.ws.order[i]];
             *reinterpret_cast<uint64_t*>(slot.addr) = slot.val;
+            ROMULUS_RACE_WRITE(reinterpret_cast<void*>(slot.addr), 8);
             pmem::on_store(reinterpret_cast<void*>(slot.addr), 8);
             pmem::pwb(reinterpret_cast<void*>(slot.addr));
         }
@@ -601,11 +624,13 @@ class RedoLogPTM {
         // 6. Release locks with the new version.
         for (auto& [lk, orig] : tl.owned) {
             (void)orig;
+            ROMULUS_RACE_RELEASE(lk, "redo.stripe_lock");
             lk->store(wv << 1, std::memory_order_seq_cst);
         }
         tl.owned.clear();
         tl.active = false;
         tx_commit_hook();
+        ROMULUS_RACE_TX_END();
     }
 
     static bool owned_by_me(std::atomic<uint64_t>* lk) {

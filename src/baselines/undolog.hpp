@@ -26,6 +26,7 @@
 #include <string>
 
 #include "alloc/pallocator.hpp"
+#include "analysis/race_hooks.hpp"
 #include "core/engine_globals.hpp"
 #include "core/persist.hpp"
 #include "pmem/flush.hpp"
@@ -70,14 +71,18 @@ class UndoLogPTM {
             format();
         }
         s.alloc.attach(&s.meta->alloc_meta, pool_base(), pool_size());
+        ROMULUS_RACE_REGISTER_REGION(s.heap, s.heap_size, "UndoLog", "heap",
+                                     nullptr);
         s.initialized = true;
     }
 
     static void close() {
+        ROMULUS_RACE_UNREGISTER_REGION(s.heap);
         s.region.unmap();
         s.initialized = false;
     }
     static void destroy() {
+        ROMULUS_RACE_UNREGISTER_REGION(s.heap);
         s.region.destroy();
         s.initialized = false;
     }
@@ -90,11 +95,13 @@ class UndoLogPTM {
         if (in_heap(addr) && tl.tx_depth > 0) {
             log_range(addr, sizeof(T));  // entry persisted + fence
             *addr = val;
+            ROMULUS_RACE_WRITE(addr, sizeof(T));
             pmem::on_store(addr, sizeof(T));
             pmem::pwb_range(addr, sizeof(T));
             return;
         }
         *addr = val;
+        ROMULUS_RACE_WRITE(addr, sizeof(T));
         if (s.initialized && s.region.contains(addr)) {
             pmem::on_store(addr, sizeof(T));
             pmem::pwb_range(addr, sizeof(T));
@@ -103,12 +110,15 @@ class UndoLogPTM {
 
     template <typename T>
     static T pload(const T* addr) {
-        return *addr;  // undo log mutates in place: no load interposition
+        T v = *addr;  // undo log mutates in place: no load redirection
+        ROMULUS_RACE_READ(addr, sizeof(T));
+        return v;
     }
 
     static void store_range(void* dst, const void* src, size_t n) {
         if (in_heap(dst) && tl.tx_depth > 0) log_range(dst, n);
         std::memcpy(dst, src, n);
+        ROMULUS_RACE_WRITE(dst, n);
         if (s.initialized && s.region.contains(dst)) {
             pmem::on_store(dst, n);
             pmem::pwb_range(dst, n);
@@ -118,6 +128,7 @@ class UndoLogPTM {
     static void zero_range(void* dst, size_t n) {
         if (in_heap(dst) && tl.tx_depth > 0) log_range(dst, n);
         std::memset(dst, 0, n);
+        ROMULUS_RACE_WRITE(dst, n);
         if (s.initialized && s.region.contains(dst)) {
             pmem::on_store(dst, n);
             pmem::pwb_range(dst, n);
@@ -142,6 +153,8 @@ class UndoLogPTM {
             return;
         }
         std::unique_lock lk(s.mutex);
+        ROMULUS_RACE_ACQUIRE(&s.mutex, "undo.write_lock");
+        ROMULUS_RACE_SCOPED_RELEASE(&s.mutex, "undo.write_unlock");
         begin_tx();
         try {
             f();
@@ -163,6 +176,9 @@ class UndoLogPTM {
             return;
         }
         std::shared_lock lk(s.mutex);
+        ROMULUS_RACE_ACQUIRE(&s.mutex, "undo.read_lock");
+        ROMULUS_RACE_SCOPED_RELEASE(&s.mutex, "undo.read_unlock");
+        ROMULUS_RACE_SCOPED_TX("read-tx");
         f();
     }
 
@@ -353,6 +369,7 @@ class UndoLogPTM {
     static void begin_tx_body() {
         tl.entries_this_tx = 0;
         tx_begin_hook();
+        ROMULUS_RACE_TX_BEGIN("update-tx");
     }
 
     static void commit_tx() {
@@ -364,6 +381,7 @@ class UndoLogPTM {
         truncate_log();
         pmem::psync();
         tx_commit_hook();
+        ROMULUS_RACE_TX_END();
     }
 
     static void rollback() {
@@ -379,6 +397,7 @@ class UndoLogPTM {
         truncate_log();
         pmem::psync();
         tx_abort_hook();
+        ROMULUS_RACE_TX_END();
     }
 
     static void format() {

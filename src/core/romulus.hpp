@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "alloc/pallocator.hpp"
+#include "analysis/race_hooks.hpp"
 #include "core/engine_globals.hpp"
 #include "core/persist.hpp"
 #include "core/range_log.hpp"
@@ -91,17 +92,25 @@ class RomulusEngine {
             format();
         }
         s.alloc.attach(&s.meta->alloc_meta, pool_base(), pool_size());
+        ROMULUS_RACE_REGISTER_REGION(s.main, s.main_size, Traits::kName, "main",
+                                     &s.header->state);
+        ROMULUS_RACE_REGISTER_REGION(s.back, s.main_size, Traits::kName, "back",
+                                     &s.header->state);
         s.initialized = true;
     }
 
     /// Unmap the heap (contents persist in the file).
     static void close() {
+        ROMULUS_RACE_UNREGISTER_REGION(s.main);
+        ROMULUS_RACE_UNREGISTER_REGION(s.back);
         s.region.unmap();
         s.initialized = false;
     }
 
     /// Unmap and delete the heap file (tests).
     static void destroy() {
+        ROMULUS_RACE_UNREGISTER_REGION(s.main);
+        ROMULUS_RACE_UNREGISTER_REGION(s.back);
         s.region.destroy();
         s.initialized = false;
     }
@@ -115,6 +124,7 @@ class RomulusEngine {
     template <typename T>
     static void pstore(T* addr, const T& val) {
         *addr = val;
+        ROMULUS_RACE_WRITE(addr, sizeof(T));
         if (!in_main(addr)) {
             // Stack/volatile persist<T> instances (unit tests) or stores to
             // the non-replicated header: just account + flush when mapped.
@@ -139,6 +149,10 @@ class RomulusEngine {
     template <typename T>
     static T pload(const T* addr) {
         T v = *addr;
+        // The event carries the address actually dereferenced: for an LR
+        // back-region reader the caller's addr already points into back
+        // (only the loaded *value* gets shifted below).
+        ROMULUS_RACE_READ(addr, sizeof(T));
         if constexpr (Traits::kUseLR && std::is_pointer_v<T>) {
             // Synthetic pointers (§5.3, Figure 3): a reader directed at the
             // back region shifts every main-internal pointer by main_size so
@@ -154,11 +168,13 @@ class RomulusEngine {
     /// Bulk transactional store (used for byte payloads, e.g. DB values).
     static void store_range(void* dst, const void* src, size_t n) {
         std::memcpy(dst, src, n);
+        ROMULUS_RACE_WRITE(dst, n);
         range_written(dst, n);
     }
 
     static void zero_range(void* dst, size_t n) {
         std::memset(dst, 0, n);
+        ROMULUS_RACE_WRITE(dst, n);
         range_written(dst, n);
     }
 
@@ -184,6 +200,7 @@ class RomulusEngine {
     static void begin_transaction() {
         if (tl.tx_depth++ > 0) return;  // flat nesting
         tx_begin_hook();
+        ROMULUS_RACE_TX_BEGIN("update-tx");
         if constexpr (Traits::kUseLog) {
             s.log.begin_tx(full_copy_threshold());
         }
@@ -220,6 +237,7 @@ class RomulusEngine {
         }
         tl.tx_depth = 0;
         tx_commit_hook();
+        ROMULUS_RACE_TX_END();
     }
 
     /// Roll back the current transaction instead of committing it: back is
@@ -235,6 +253,7 @@ class RomulusEngine {
         pmem::pwb(&s.header->state);
         pmem::psync();
         tx_abort_hook();
+        ROMULUS_RACE_TX_END();
     }
 
     static bool in_transaction() { return tl.tx_depth > 0; }
@@ -292,6 +311,7 @@ class RomulusEngine {
             struct Guard {
                 int t, vi;
                 ~Guard() {
+                    ROMULUS_RACE_TX_END();
                     tl.read_offset = 0;
                     tl.read_depth = 0;
                     s.lr.depart(t, vi);
@@ -300,16 +320,20 @@ class RomulusEngine {
             tl.read_offset = (s.lr.read_region() == sync::LeftRight::kReadBack)
                                  ? s.main_size
                                  : 0;
+            ROMULUS_RACE_TX_BEGIN(tl.read_offset != 0 ? "read-tx(back)"
+                                                      : "read-tx(main)");
             f();
         } else {
             struct Guard {
                 int t;
                 ~Guard() {
+                    ROMULUS_RACE_TX_END();
                     tl.read_depth = 0;
                     s.rwlock.read_unlock(t);
                 }
             } guard{t};
             s.rwlock.read_lock(t);
+            ROMULUS_RACE_TX_BEGIN("read-tx");
             f();
         }
     }
@@ -350,6 +374,20 @@ class RomulusEngine {
     template <typename T>
     static T* get_object(int idx) {
         assert(idx >= 0 && idx < kMaxRootObjects);
+        if constexpr (Traits::kUseLR) {
+            // A back-directed reader must read the back copy of the roots
+            // array, not main's: the writer mutates main's roots mid-tx, so
+            // reading them here could observe a root whose object does not
+            // exist in back yet.  back holds the previous commit's snapshot
+            // (MainMeta is inside the copied range), and pload()'s value
+            // shift then moves the stored main-internal pointer into back.
+            if (tl.read_offset != 0) {
+                const auto* shifted = reinterpret_cast<const p<void*>*>(
+                    reinterpret_cast<const uint8_t*>(&s.meta->roots[idx]) +
+                    tl.read_offset);
+                return static_cast<T*>(shifted->pload());
+            }
+        }
         return static_cast<T*>(s.meta->roots[idx].pload());
     }
 

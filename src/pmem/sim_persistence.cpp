@@ -35,7 +35,7 @@ void SimPersistence::persist_line_locked(size_t line, const uint8_t* content) {
 
 void SimPersistence::on_fence() {
     std::lock_guard lk(mu_);
-    fence_count_++;
+    fence_count_.fetch_add(1, std::memory_order_release);
     for (auto& [line, snap] : pending_) {
         const uint8_t* src =
             snap.empty() ? base_ + line * kCacheLineSize : snap.data();

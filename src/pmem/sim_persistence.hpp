@@ -25,6 +25,7 @@
 // exactly the state a recovery procedure would see after a power failure.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <random>
@@ -60,8 +61,12 @@ class SimPersistence final : public SimHooks {
     void on_fence() override;
 
     /// Number of persistence events (fences) seen so far; crash schedules in
-    /// the property tests are expressed in these units.
-    uint64_t fence_count() const { return fence_count_; }
+    /// the property tests are expressed in these units.  Atomic because the
+    /// crash scheduler polls it from a watcher thread while worker threads
+    /// fence (the other counters take mu_ in their accessors).
+    uint64_t fence_count() const {
+        return fence_count_.load(std::memory_order_acquire);
+    }
 
     /// Overwrite the live region with the shadow image: everything that was
     /// only in the "cache" is lost, exactly as in a power cut.
@@ -97,7 +102,7 @@ class SimPersistence final : public SimHooks {
     // AtFence (content read from the live line at fence time)
     std::unordered_map<size_t, std::vector<uint8_t>> pending_;
     std::mt19937_64 rng_;
-    uint64_t fence_count_ = 0;
+    std::atomic<uint64_t> fence_count_{0};
     mutable std::mutex mu_;
 };
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 
+#include "analysis/race_hooks.hpp"
 #include "sync/read_indicator.hpp"
 #include "sync/spinlock.hpp"
 
@@ -21,7 +22,12 @@ class CRWWPLock {
         unsigned spins = 0;
         while (true) {
             ri_.arrive(t);
-            if (!writer_present_.load(std::memory_order_seq_cst)) return;
+            if (!writer_present_.load(std::memory_order_seq_cst)) {
+                // Acquire after the flag check: observing "no writer" means
+                // the previous writer's write_unlock release is recorded.
+                ROMULUS_RACE_ACQUIRE(this, "crwwp.read_lock");
+                return;
+            }
             // A writer holds or wants the lock: step aside (writer pref).
             ri_.depart(t);
             while (writer_present_.load(std::memory_order_relaxed))
@@ -47,6 +53,9 @@ class CRWWPLock {
     }
 
     void write_unlock() {
+        // Release before the flag store: a reader that observes "no writer"
+        // inherits everything this writer did.
+        ROMULUS_RACE_RELEASE(this, "crwwp.write_unlock");
         writer_present_.store(false, std::memory_order_release);
         writers_mutex_.unlock();
     }
@@ -59,6 +68,11 @@ class CRWWPLock {
     void wait_readers() {
         unsigned spins = 0;
         while (!ri_.is_empty()) spin_wait(spins);
+        // The writer barrier: every departed reader released into ri_, so
+        // this acquire inherits all of their reads before the writer
+        // mutates.  Eliding this drain is the seeded bug of the
+        // CRWWPElidedBarrier fixture (tests/test_race_fixtures.cpp).
+        ROMULUS_RACE_ACQUIRE(&ri_, "crwwp.drain");
     }
 
     SpinLock writers_mutex_;

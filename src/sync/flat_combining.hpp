@@ -12,6 +12,7 @@
 #include <atomic>
 #include <functional>
 
+#include "analysis/race_hooks.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/thread_registry.hpp"
 
@@ -24,12 +25,22 @@ class FlatCombiningArray {
     /// Publish `op` in this thread's slot.  `op` must stay alive until the
     /// slot is observed empty again.
     void announce(int t, Op* op) {
+        // Release before the slot store: the combiner that takes this op
+        // inherits everything the announcer did while preparing it.
+        ROMULUS_RACE_RELEASE(&slots_[t], "fc.announce");
         slots_[t].op.store(op, std::memory_order_release);
     }
 
     /// Has this thread's announced operation been executed (slot cleared)?
     bool is_done(int t) const {
-        return slots_[t].op.load(std::memory_order_acquire) == nullptr;
+        if (slots_[t].op.load(std::memory_order_acquire) == nullptr) {
+            // Acquire after observing the cleared slot: the announcer
+            // inherits the combiner's mark_done release (and thus the
+            // durable effects of its own operation).
+            ROMULUS_RACE_ACQUIRE(&slots_[t], "fc.is_done");
+            return true;
+        }
+        return false;
     }
 
     /// Combiner side: run `fn(op)` for every announced operation.  `fn` must
@@ -39,12 +50,16 @@ class FlatCombiningArray {
         const int n = max_tids();
         for (int i = 0; i < n; ++i) {
             Op* op = slots_[i].op.load(std::memory_order_acquire);
-            if (op != nullptr) fn(i, op);
+            if (op != nullptr) {
+                ROMULUS_RACE_ACQUIRE(&slots_[i], "fc.take");
+                fn(i, op);
+            }
         }
     }
 
     /// Clear slot i, releasing its announcer.
     void mark_done(int i) {
+        ROMULUS_RACE_RELEASE(&slots_[i], "fc.mark_done");
         slots_[i].op.store(nullptr, std::memory_order_release);
     }
 

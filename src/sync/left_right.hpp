@@ -15,6 +15,7 @@
 
 #include <atomic>
 
+#include "analysis/race_hooks.hpp"
 #include "sync/read_indicator.hpp"
 #include "sync/spinlock.hpp"
 
@@ -35,11 +36,20 @@ class LeftRight {
     void depart(int t, int vi) { ri_[vi].depart(t); }
 
     int read_region() const {
-        return read_region_.load(std::memory_order_seq_cst);
+        const int r = read_region_.load(std::memory_order_seq_cst);
+        // Acquire after the load, not in arrive(): a reader's happens-before
+        // edge comes from observing the writer's read_region publication.
+        // (A reader that loads the *old* value reads the region the writer
+        // has not started mutating yet — no edge needed, no race.)
+        ROMULUS_RACE_ACQUIRE(this, "lr.read_region");
+        return r;
     }
 
     /// Writer side: direct new readers at region `r` (kReadMain/kReadBack).
     void set_read_region(int r) {
+        // Release before the publication store: readers that observe `r`
+        // inherit everything the writer wrote before switching them over.
+        ROMULUS_RACE_RELEASE(this, "lr.publish");
         read_region_.store(r, std::memory_order_seq_cst);
     }
 
@@ -52,9 +62,15 @@ class LeftRight {
         const int next = 1 - prev;
         unsigned spins = 0;
         while (!ri_[next].is_empty()) spin_wait(spins);
+        ROMULUS_RACE_ACQUIRE(&ri_[next], "lr.drain");
         version_index_.store(next, std::memory_order_seq_cst);
         spins = 0;
         while (!ri_[prev].is_empty()) spin_wait(spins);
+        // Draining both indicators inherits every departed reader's clock,
+        // so the writer's subsequent mutations cannot race with them.
+        // Skipping the toggle (the LeftRightNoToggle fixture's seeded bug)
+        // loses exactly these two edges.
+        ROMULUS_RACE_ACQUIRE(&ri_[prev], "lr.drain");
     }
 
   private:

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "analysis/race_hooks.hpp"
 #include "sync/thread_registry.hpp"
 
 namespace romulus::sync {
@@ -24,6 +25,9 @@ class ReadIndicator {
     }
 
     void depart(int t) {
+        // Release before the decrement: by the time a draining writer can
+        // observe this slot empty, the reader's clock is in the indicator.
+        ROMULUS_RACE_RELEASE(this, "ri.depart");
         slots_[t].count.fetch_sub(1, std::memory_order_release);
     }
 

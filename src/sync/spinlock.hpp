@@ -9,6 +9,8 @@
 #include <atomic>
 #include <thread>
 
+#include "analysis/race_hooks.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <emmintrin.h>
 #endif
@@ -33,8 +35,12 @@ inline void spin_wait(unsigned& spins) {
 class SpinLock {
   public:
     bool try_lock() {
-        return !locked_.load(std::memory_order_relaxed) &&
-               !locked_.exchange(true, std::memory_order_acquire);
+        if (!locked_.load(std::memory_order_relaxed) &&
+            !locked_.exchange(true, std::memory_order_acquire)) {
+            ROMULUS_RACE_ACQUIRE(this, "spinlock.lock");
+            return true;
+        }
+        return false;
     }
 
     void lock() {
@@ -44,7 +50,10 @@ class SpinLock {
         }
     }
 
-    void unlock() { locked_.store(false, std::memory_order_release); }
+    void unlock() {
+        ROMULUS_RACE_RELEASE(this, "spinlock.unlock");
+        locked_.store(false, std::memory_order_release);
+    }
 
     bool is_locked() const { return locked_.load(std::memory_order_acquire); }
 

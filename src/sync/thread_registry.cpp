@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "analysis/race_hooks.hpp"
+
 namespace romulus::sync {
 
 namespace {
@@ -12,6 +14,12 @@ std::mutex g_mu;
 bool g_used[kMaxThreads] = {};
 std::atomic<int> g_max_tids{0};
 
+// Address-only sentinel for the detector's registry sync object: a thread
+// that recycles slot i inherits the clock the previous holder released here.
+// The explicit-tid hook variants are required — the implicit ones would call
+// tid() and recurse into the thread_local SlotHolder mid-construction.
+[[maybe_unused]] const int g_registry_sentinel = 0;
+
 int acquire_slot() {
     std::lock_guard lk(g_mu);
     for (int i = 0; i < kMaxThreads; ++i) {
@@ -19,6 +27,8 @@ int acquire_slot() {
             g_used[i] = true;
             int hi = g_max_tids.load(std::memory_order_relaxed);
             if (i + 1 > hi) g_max_tids.store(i + 1, std::memory_order_relaxed);
+            ROMULUS_RACE_THREAD_ACQUIRE(&g_registry_sentinel, "registry.slot",
+                                        i);
             return i;
         }
     }
@@ -27,6 +37,7 @@ int acquire_slot() {
 
 void release_slot(int i) {
     std::lock_guard lk(g_mu);
+    ROMULUS_RACE_THREAD_RELEASE(&g_registry_sentinel, "registry.slot", i);
     g_used[i] = false;
 }
 

@@ -48,8 +48,21 @@ class BadSet {
         PTM::pstore(&n->next, target);
     }
 
+    Node* leak_head() {
+        // BUG[raw-ptr-escape]: `n` is declared outside the transaction but
+        // assigned a persistent-heap pointer inside it, so it escapes the
+        // reader's critical section: under RomulusLR it may be a synthetic
+        // back-region pointer, and in any engine the node can be freed or
+        // superseded by the time the caller dereferences it.
+        Node* n = nullptr;
+        PTM::readTx([&] {
+            n = PTM::template get_object<Node>(0);
+        });
+        return n;
+    }
+
     // NOT a bug: read-direction copy with a same-line allow annotation; the
-    // fixture test relies on this staying suppressed (violation count == 4).
+    // fixture test relies on this staying suppressed (violation count == 5).
     void read_out(const Node* n, void* out) {
         std::memcpy(out, n, sizeof(Node));  // romlint: allow(raw-memcpy) read copy
     }

@@ -115,7 +115,13 @@ TYPED_TEST(ConcStress, CommittedUpdatesAreImmediatelyVisibleToOtherThreads) {
         while (!stop.load(std::memory_order_relaxed)) {
             const uint64_t floor = published.load(std::memory_order_seq_cst);
             uint64_t got = 0;
-            P::readTx([&] { got = counter->pload(); });
+            // Re-fetch the root inside the tx: a captured raw pointer would
+            // read main even when the LR engine directs this reader at back
+            // (the raw-ptr-escape pattern romlint flags in ds code).
+            P::readTx([&] {
+                auto* c = P::template get_object<PU>(0);
+                got = c->pload();
+            });
             if (got < floor) stale.store(true);  // regressed: not linearizable
         }
     });

@@ -1,0 +1,49 @@
+// Global test environment (compiled only under -DROMULUS_RACECHECK) that
+// arms the romrace detector for an entire gtest invocation when
+// ROMULUS_RACECHECK_ENABLE is set in the environment.  The race_clean_stress
+// ctest case (tests/CMakeLists.txt) uses this to run the full concurrent
+// stress suite with the detector live and fail if it reports anything: the
+// annotations' happens-before model must have zero false positives on the
+// real engine workloads.
+//
+// Without the environment variable this file is inert, so the regular
+// per-suite ctest runs of a ROMULUS_RACECHECK build are unaffected.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/race_detector.hpp"
+
+namespace {
+
+class RaceCheckCleanEnv : public ::testing::Environment {
+  public:
+    void SetUp() override {
+        if (std::getenv("ROMULUS_RACECHECK_ENABLE") == nullptr) return;
+        armed_ = true;
+        auto& d = romulus::analysis::RaceDetector::instance();
+        d.reset();
+        d.enable();
+    }
+
+    void TearDown() override {
+        if (!armed_) return;
+        auto& d = romulus::analysis::RaceDetector::instance();
+        if (d.race_count() > 0) {
+            ADD_FAILURE() << "romrace detected " << d.race_count()
+                          << " race(s) in the clean suite:\n"
+                          << d.report_text();
+        }
+        d.disable();
+        d.reset();
+    }
+
+  private:
+    bool armed_ = false;
+};
+
+[[maybe_unused]] const auto* const g_race_env =
+    ::testing::AddGlobalTestEnvironment(new RaceCheckCleanEnv);
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Unit tests for the romrace happens-before detector core
+// (analysis/race_detector.hpp).  These drive the detector through its free
+// funnels directly — no engine, no hook macros — so they compile and run in
+// every build configuration, not just -DROMULUS_RACECHECK.
+//
+// Thread discipline: detector tids come from sync::thread_registry, which
+// recycles the slot of a joined thread.  Two *sequential* std::threads would
+// therefore share a tid and look like one totally-ordered thread to the
+// detector, so every scenario keeps its racing threads alive concurrently
+// and sequences them with plain test-local atomics (which create no
+// detector edges).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "analysis/race_detector.hpp"
+
+namespace {
+
+using romulus::analysis::RaceDetector;
+using romulus::analysis::race_acquire;
+using romulus::analysis::race_read;
+using romulus::analysis::race_register_region;
+using romulus::analysis::race_release;
+using romulus::analysis::race_set_tx;
+using romulus::analysis::race_unregister_region;
+using romulus::analysis::race_write;
+
+void await(const std::atomic<int>& step, int v) {
+    while (step.load(std::memory_order_acquire) < v) std::this_thread::yield();
+}
+
+void advance(std::atomic<int>& step, int v) {
+    step.store(v, std::memory_order_release);
+}
+
+class RaceDetectorTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        auto& d = RaceDetector::instance();
+        d.reset();
+        d.enable();
+    }
+    void TearDown() override {
+        auto& d = RaceDetector::instance();
+        d.disable();
+        d.reset();
+    }
+};
+
+// Two unsynchronised writers to the same registered word: one write-write
+// race, attributed to both threads.
+TEST_F(RaceDetectorTest, WriteWriteRaceDetected) {
+    alignas(8) static uint64_t words[4];
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+
+    std::atomic<int> step{0};
+    std::thread a([&] {
+        race_write(&words[0], 8);
+        advance(step, 1);
+        await(step, 2);  // stay alive so b gets a distinct tid
+    });
+    std::thread b([&] {
+        await(step, 1);
+        race_write(&words[0], 8);
+        advance(step, 2);
+    });
+    a.join();
+    b.join();
+
+    auto& d = RaceDetector::instance();
+    ASSERT_EQ(d.race_count(), 1u) << d.report_text();
+    auto reports = d.reports();
+    EXPECT_STREQ(reports[0].kind, "write-write");
+    EXPECT_TRUE(reports[0].prev.is_write);
+    EXPECT_TRUE(reports[0].cur.is_write);
+    EXPECT_NE(reports[0].prev.tid, reports[0].cur.tid);
+    EXPECT_EQ(reports[0].cur.addr, reinterpret_cast<uintptr_t>(&words[0]));
+
+    race_unregister_region(words);
+}
+
+// The same two writes connected by a release/acquire chain: no race.
+TEST_F(RaceDetectorTest, HappensBeforeEdgeSuppressesReport) {
+    alignas(8) static uint64_t words[4];
+    static int sync_obj;
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+
+    std::atomic<int> step{0};
+    std::thread a([&] {
+        race_write(&words[0], 8);
+        race_release(&sync_obj, "test.unlock");
+        advance(step, 1);
+        await(step, 2);
+    });
+    std::thread b([&] {
+        await(step, 1);
+        race_acquire(&sync_obj, "test.lock");
+        race_write(&words[0], 8);
+        advance(step, 2);
+    });
+    a.join();
+    b.join();
+
+    EXPECT_EQ(RaceDetector::instance().race_count(), 0u)
+        << RaceDetector::instance().report_text();
+    race_unregister_region(words);
+}
+
+// An unsynchronised read after a write is a write-then-read race.
+TEST_F(RaceDetectorTest, WriteThenReadRaceDetected) {
+    alignas(8) static uint64_t words[4];
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+
+    std::atomic<int> step{0};
+    std::thread a([&] {
+        race_write(&words[1], 8);
+        advance(step, 1);
+        await(step, 2);
+    });
+    std::thread b([&] {
+        await(step, 1);
+        race_read(&words[1], 8);
+        advance(step, 2);
+    });
+    a.join();
+    b.join();
+
+    auto& d = RaceDetector::instance();
+    ASSERT_EQ(d.race_count(), 1u) << d.report_text();
+    auto reports = d.reports();
+    EXPECT_STREQ(reports[0].kind, "write-then-read");
+    EXPECT_TRUE(reports[0].prev.is_write);
+    EXPECT_FALSE(reports[0].cur.is_write);
+    race_unregister_region(words);
+}
+
+// Two concurrent readers promote the shadow cell to a full read vector
+// clock; an unsynchronised write afterwards must still be caught against it.
+TEST_F(RaceDetectorTest, PromotedReadsCaughtByLaterWrite) {
+    alignas(8) static uint64_t words[4];
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+
+    std::atomic<int> step{0};
+    std::thread r1([&] {
+        race_read(&words[2], 8);
+        advance(step, 1);
+        await(step, 3);
+    });
+    std::thread r2([&] {
+        await(step, 1);
+        race_read(&words[2], 8);
+        advance(step, 2);
+        await(step, 3);
+    });
+    std::thread w([&] {
+        await(step, 2);
+        race_write(&words[2], 8);
+        advance(step, 3);
+    });
+    r1.join();
+    r2.join();
+    w.join();
+
+    auto& d = RaceDetector::instance();
+    ASSERT_EQ(d.race_count(), 1u) << d.report_text();
+    EXPECT_STREQ(d.reports()[0].kind, "read-then-write");
+    race_unregister_region(words);
+}
+
+// Accesses outside every registered region generate no events.
+TEST_F(RaceDetectorTest, UnregisteredAddressesIgnored) {
+    alignas(8) static uint64_t outside[2];
+
+    std::atomic<int> step{0};
+    std::thread a([&] {
+        race_write(&outside[0], 8);
+        advance(step, 1);
+        await(step, 2);
+    });
+    std::thread b([&] {
+        await(step, 1);
+        race_write(&outside[0], 8);
+        advance(step, 2);
+    });
+    a.join();
+    b.join();
+
+    EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+}
+
+// Unregistering erases the region's shadow cells: an engine re-mapping the
+// same fixed base (close + init, or a different test) starts clean instead
+// of racing against stale history.
+TEST_F(RaceDetectorTest, UnregisterErasesShadowState) {
+    alignas(8) static uint64_t words[4];
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+    race_write(&words[0], 8);  // main thread's history
+    race_unregister_region(words);
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+
+    std::atomic<int> step{0};
+    std::thread b([&] {
+        race_write(&words[0], 8);  // would race against the stale write
+        advance(step, 1);
+    });
+    await(step, 1);
+    b.join();
+
+    EXPECT_EQ(RaceDetector::instance().race_count(), 0u)
+        << RaceDetector::instance().report_text();
+    race_unregister_region(words);
+}
+
+// Reports carry the engine context: region name and offset, per-thread
+// transaction kind, and the heap state word sampled at access time.
+TEST_F(RaceDetectorTest, ReportCarriesRegionTxAndStateContext) {
+    alignas(8) static uint64_t words[4];
+    static std::atomic<uint32_t> state{1};  // TxState MUT
+    race_register_region(words, sizeof(words), "Test", "heap", &state);
+
+    std::atomic<int> step{0};
+    std::thread a([&] {
+        race_set_tx("read-tx");
+        race_read(&words[3], 8);
+        race_set_tx(nullptr);
+        advance(step, 1);
+        await(step, 2);
+    });
+    std::thread b([&] {
+        await(step, 1);
+        race_set_tx("update-tx");
+        race_write(&words[3], 8);
+        race_set_tx(nullptr);
+        advance(step, 2);
+    });
+    a.join();
+    b.join();
+
+    auto& d = RaceDetector::instance();
+    ASSERT_EQ(d.race_count(), 1u) << d.report_text();
+    auto r = d.reports()[0];
+    EXPECT_STREQ(r.kind, "read-then-write");
+    EXPECT_EQ(r.prev.region, "Test.heap");
+    EXPECT_EQ(r.prev.region_off, 3u * 8u);
+    EXPECT_EQ(r.prev.tx_kind, "read-tx");
+    EXPECT_EQ(r.cur.tx_kind, "update-tx");
+    EXPECT_TRUE(r.cur.has_state);
+    EXPECT_EQ(r.cur.heap_state, 1u);
+
+    std::string text = d.report_text();
+    EXPECT_NE(text.find("race #1"), std::string::npos) << text;
+    EXPECT_NE(text.find("Test.heap"), std::string::npos) << text;
+    EXPECT_NE(text.find("MUTATING"), std::string::npos) << text;
+    race_unregister_region(words);
+}
+
+// While disabled, every funnel is a no-op: no events, no reports, no state.
+TEST_F(RaceDetectorTest, DisabledDetectorRecordsNothing) {
+    alignas(8) static uint64_t words[4];
+    race_register_region(words, sizeof(words), "Test", "heap", nullptr);
+    RaceDetector::instance().disable();
+
+    std::atomic<int> step{0};
+    std::thread a([&] {
+        race_write(&words[0], 8);
+        advance(step, 1);
+        await(step, 2);
+    });
+    std::thread b([&] {
+        await(step, 1);
+        race_write(&words[0], 8);
+        advance(step, 2);
+    });
+    a.join();
+    b.join();
+
+    EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+}
+
+}  // namespace

@@ -26,6 +26,12 @@ Rules
                   p<T> member: it works, but it hard-codes the interposition
                   policy at the call site and breaks engines that need the
                   wrapper types (e.g. synthetic-pointer redirection).
+  raw-ptr-escape  A raw pointer declared outside a readTx/updateTx lambda is
+                  assigned persistent state (get_object<>, pload(), .addr())
+                  inside it.  The pointer outlives the transaction: a
+                  RomulusLR reader may hold a synthetic back-region pointer
+                  that is invalid once it departs, and in general the object
+                  may be freed or superseded by the time the pointer is used.
 
 Allowlist annotations
 ---------------------
@@ -53,7 +59,8 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("raw-field", "raw-deref-write", "raw-memcpy", "direct-pstore")
+RULES = ("raw-field", "raw-deref-write", "raw-memcpy", "direct-pstore",
+         "raw-ptr-escape")
 
 ALLOW_RE = re.compile(r"romlint:\s*allow\(([a-z-,\s]+)\)")
 ALLOW_FILE_RE = re.compile(r"romlint:\s*allow-file\(([a-z-,\s]+)\)")
@@ -69,6 +76,16 @@ DEREF_WRITE_RE = re.compile(
 )
 MEMCPY_RE = re.compile(r"(?<![\w.])(?:std\s*::\s*)?(?:memcpy|memmove|memset)\s*\(")
 PSTORE_RE = re.compile(r"(?<![\w])(?:[\w:.>-]*(?:\.|->|::))?pstore\s*(?:<[^;()]*>)?\s*\(")
+# A raw-pointer local/member declaration: `Node* n = ...;`, `auto* n;`, etc.
+PTR_DECL_RE = re.compile(
+    r"^\s*(?:auto|(?:const\s+)?[A-Za-z_]\w*(?:::\w+)*(?:\s*<[^;={}]*>)?)"
+    r"\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?:=[^=].*)?;")
+# Entry into a transaction lambda (the body opens on the same line).
+TX_ENTRY_RE = re.compile(r"(?<!\w)(?:readTx|updateTx)\s*(?:<[^(]*>)?\s*\(")
+# A bare `name = <rhs>` statement (the raw-ptr-escape candidate shape).
+TX_ASSIGN_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*=(?!=)(.*)$")
+# RHS expressions that produce a pointer into the persistent heap.
+ESCAPE_SRC_RE = re.compile(r"get_object\s*<|pload\s*\(|\.addr\s*\(")
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -166,6 +183,10 @@ def scan_file(path, text):
     # [pending (line_no, code, allows) member decls], has_p_member)
     depth = 0
     struct_stack = []
+    # raw-ptr-escape state: pointer name -> brace depth of its declaration,
+    # plus a stack of brace depths at which a readTx/updateTx lambda opened.
+    ptr_decls = {}
+    tx_stack = []
 
     for line_no, raw in enumerate(lines, 1):
         code, comment, in_block = strip_comments_and_strings(raw, in_block)
@@ -191,6 +212,26 @@ def scan_file(path, text):
                    "assignment through a dereference bypasses persist<T> "
                    "interposition (operator* returns a raw reference)")
 
+        # --- flow-level rule (raw-ptr-escape) --------------------------
+        if tx_stack:
+            am = TX_ASSIGN_RE.match(code)
+            if am:
+                name, rhs = am.group(1), am.group(2)
+                decl_depth = ptr_decls.get(name)
+                if (decl_depth is not None and decl_depth <= tx_stack[-1]
+                        and ESCAPE_SRC_RE.search(rhs)):
+                    report("raw-ptr-escape",
+                           f"raw pointer '{name}' declared outside the "
+                           f"transaction is assigned persistent state inside "
+                           f"it; the pointer outlives the tx (stale for LR "
+                           f"readers, freeable in general) — confine it to "
+                           f"the lambda or copy the value out instead")
+        pd = PTR_DECL_RE.match(code)
+        if pd:
+            ptr_decls[pd.group(1)] = depth
+        if TX_ENTRY_RE.search(code):
+            tx_stack.append(depth)
+
         # --- struct-level rule (raw-field) -----------------------------
         depth_before = depth
         sm = STRUCT_RE.match(code)
@@ -210,6 +251,10 @@ def scan_file(path, text):
                 struct_stack[-1]["members"].append((line_no, code.strip(),
                                                     allows))
         depth += code.count("{") - code.count("}")
+        while tx_stack and depth <= tx_stack[-1]:
+            tx_stack.pop()
+        if ptr_decls and "}" in code:
+            ptr_decls = {k: v for k, v in ptr_decls.items() if v <= depth}
         while struct_stack and depth <= struct_stack[-1]["entry_depth"]:
             st = struct_stack.pop()
             if st["has_p"]:
