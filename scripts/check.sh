@@ -11,27 +11,31 @@
 #   race      romrace build (ROMULUS_RACECHECK=ON) + full ctest, including
 #             the positive-detection fixtures and the armed clean-suite run
 #
-# Each leg uses its own build directory (build-check-<leg>) so the matrix
-# never dirties the developer's ./build tree.
+# Each leg uses its own build directory (build/check/<leg>) so the matrix
+# never dirties the developer's ./build tree — and everything it writes
+# (trees and configure/build logs) stays under build/, which .gitignore
+# already covers, instead of littering the repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 NPROC=$(nproc 2>/dev/null || echo 4)
+CHECK_ROOT="build/check"
 LEGS=("$@")
 [ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan race)
 
 configure_build() { # <dir> <cmake-flags...>
     local dir=$1
     shift
+    mkdir -p "$dir"
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" \
-        > "$dir-configure.log" 2>&1 ||
-        { cat "$dir-configure.log"; return 1; }
-    cmake --build "$dir" -j "$NPROC" > "$dir-build.log" 2>&1 ||
-        { tail -50 "$dir-build.log"; return 1; }
+        > "$dir/configure.log" 2>&1 ||
+        { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$NPROC" > "$dir/build.log" 2>&1 ||
+        { tail -50 "$dir/build.log"; return 1; }
 }
 
 run_leg() {
-    local leg=$1 dir="build-check-$1"
+    local leg=$1 dir="$CHECK_ROOT/$1"
     echo "=== leg: $leg ==="
     case "$leg" in
     default)

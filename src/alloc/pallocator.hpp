@@ -155,9 +155,7 @@ class PAllocator {
     }
 
     size_t payload_capacity(const void* ptr) const {
-        const Chunk* c =
-            reinterpret_cast<const Chunk*>(static_cast<const uint8_t*>(ptr) - 8);
-        return c->size() - kHeaderSize;
+        return chunk_of(ptr)->size() - kHeaderSize;
     }
 
     uint64_t allocated_bytes() const { return meta_->allocated_bytes.pload(); }
@@ -231,11 +229,18 @@ class PAllocator {
     uint64_t offset_of(const Chunk* c) const {
         return reinterpret_cast<const uint8_t*>(c) - pool_;
     }
+    // Payloads start 8 bytes into the chunk (right after size_flags); these
+    // two are the only places that know that offset.
     static void* payload(Chunk* c) {
         return reinterpret_cast<uint8_t*>(c) + 8;
     }
+    static const Chunk* chunk_of(const void* payload_ptr) {
+        return reinterpret_cast<const Chunk*>(
+            static_cast<const uint8_t*>(payload_ptr) - 8);
+    }
     static Chunk* chunk_of(void* payload_ptr) {
-        return reinterpret_cast<Chunk*>(static_cast<uint8_t*>(payload_ptr) - 8);
+        return const_cast<Chunk*>(
+            chunk_of(static_cast<const void*>(payload_ptr)));
     }
     static uint64_t payload_size(const Chunk* c) {
         return c->size() - kHeaderSize;

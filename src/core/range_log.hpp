@@ -53,6 +53,7 @@ class RangeLog {
         logged_bytes_ = 0;
         threshold_ = full_copy_threshold;
         full_copy_ = false;
+        runs_valid_ = false;
     }
 
     /// Test hook: place the epoch counter near (or at) the wrap boundary so
@@ -72,6 +73,44 @@ class RangeLog {
     const std::vector<Entry>& entries() const { return entries_; }
     size_t logged_bytes() const { return logged_bytes_; }
 
+    /// A maximal coalesced byte range (64-bit length: adjacent lines can
+    /// merge into runs far larger than any single Entry).
+    struct Run {
+        uint64_t off;
+        uint64_t len;
+    };
+
+    /// Maximal coalesced [off, off+len) runs: the per-line entries sorted by
+    /// offset with adjacent (and, defensively, overlapping) lines merged.
+    /// Computed once per transaction on first use and cached — commit
+    /// consumes it twice (flush of main, replication to back), so a 10 KB
+    /// sequential write costs one sort instead of 2×160 entry walks, and the
+    /// flush/copy loops run per run instead of per 64 B line.  Meaningless
+    /// in full-copy mode (commit must not consult the log then).
+    const std::vector<Run>& merged_runs() {
+        if (!runs_valid_) {
+            runs_.clear();
+            runs_.reserve(entries_.size());
+            scratch_ = entries_;
+            std::sort(
+                scratch_.begin(), scratch_.end(),
+                [](const Entry& a, const Entry& b) { return a.off < b.off; });
+            for (const Entry& e : scratch_) {
+                if (!runs_.empty() &&
+                    e.off <= runs_.back().off + runs_.back().len) {
+                    const uint64_t end = e.off + e.len;
+                    const uint64_t back_end =
+                        runs_.back().off + runs_.back().len;
+                    if (end > back_end) runs_.back().len = end - runs_.back().off;
+                } else {
+                    runs_.push_back(Run{e.off, e.len});
+                }
+            }
+            runs_valid_ = true;
+        }
+        return runs_;
+    }
+
   private:
     void add_line(size_t line) {
         size_t h = (line * 0x9E3779B97F4A7C15ull) & mask_;
@@ -85,6 +124,7 @@ class RangeLog {
             lines_[i] = line;
             entries_.push_back(Entry{line * pmem::kCacheLineSize,
                                      static_cast<uint32_t>(pmem::kCacheLineSize)});
+            runs_valid_ = false;
             logged_bytes_ += pmem::kCacheLineSize;
             if (logged_bytes_ > threshold_) full_copy_ = true;
             return;
@@ -99,9 +139,12 @@ class RangeLog {
     std::vector<uint32_t> epochs_;
     uint32_t epoch_ = 0;
     std::vector<Entry> entries_;
+    std::vector<Entry> scratch_;  // sort workspace (capacity reused)
+    std::vector<Run> runs_;       // cached merged_runs() result
     size_t logged_bytes_ = 0;
     size_t threshold_ = ~size_t{0};
     bool full_copy_ = false;
+    bool runs_valid_ = false;
 };
 
 }  // namespace romulus

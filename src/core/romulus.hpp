@@ -92,6 +92,7 @@ class RomulusEngine {
             format();
         }
         s.alloc.attach(&s.meta->alloc_meta, pool_base(), pool_size());
+        s.used_pwb_pending = false;  // any deferred pwb died with the restart
         ROMULUS_RACE_REGISTER_REGION(s.main, s.main_size, Traits::kName, "main",
                                      &s.header->state);
         ROMULUS_RACE_REGISTER_REGION(s.back, s.main_size, Traits::kName, "back",
@@ -180,14 +181,23 @@ class RomulusEngine {
 
     /// Growth notification from the allocator: keeps header.used_size a
     /// monotonic upper bound of every byte ever mutated in main, which is
-    /// what bounds the recovery copies (§6.5).  No fence needed: the commit
-    /// fence orders this pwb before the CPY state becomes persistent.
+    /// what bounds the recovery copies (§6.5).  Inside a transaction the
+    /// write-back is deferred to commit — an allocation-heavy transaction
+    /// grows used_size many times but needs exactly one pwb of the line,
+    /// and the commit fence that precedes the CPY state store orders it
+    /// before CPY becomes persistent (the required ordering: CPY must never
+    /// be durable with a stale used_size, or the main->back copy would miss
+    /// committed bytes).
     static void note_used(const void* end) {
         uint64_t off = static_cast<const uint8_t*>(end) - s.main;
         if (off > s.header->used_size.load(std::memory_order_relaxed)) {
             s.header->used_size.store(off, std::memory_order_relaxed);
             pmem::on_store(&s.header->used_size, 8);
-            pmem::pwb(&s.header->used_size);
+            if (tl.tx_depth > 0) {
+                s.used_pwb_pending = true;  // flushed once, at commit/abort
+            } else {
+                pmem::pwb(&s.header->used_size);
+            }
         }
     }
 
@@ -216,6 +226,7 @@ class RomulusEngine {
             return;
         }
         if constexpr (Traits::kUseLog) flush_logged_main_lines();
+        flush_used_size();
         pmem::pfence();
         store_state(CPY);
         pmem::pwb(&s.header->state);
@@ -248,6 +259,7 @@ class RomulusEngine {
         assert(tl.tx_depth > 0);
         tl.tx_depth = 0;
         copy_back_to_main();
+        flush_used_size();  // used_size is monotonic: it survives the abort
         pmem::pfence();
         store_state(IDL);
         pmem::pwb(&s.header->state);
@@ -509,6 +521,7 @@ class RomulusEngine {
         sync::FlatCombiningArray fc;
         std::atomic<uint64_t> combines{0};      // combiner invocations
         std::atomic<uint64_t> combined_ops{0};  // operations they executed
+        bool used_pwb_pending = false;  // used_size grew; pwb owed at commit
         bool initialized = false;
     };
     static inline State s{};
@@ -554,9 +567,29 @@ class RomulusEngine {
         pmem::pwb_range(dst, n);
     }
 
+    /// Write back the used_size header word if a transaction grew it
+    /// (note_used defers the pwb here so it is paid once per transaction).
+    static void flush_used_size() {
+        if (!s.used_pwb_pending) return;
+        s.used_pwb_pending = false;
+        pmem::pwb(&s.header->used_size);
+    }
+
     static void flush_logged_main_lines() {
         if (s.log.full_copy()) {
             pmem::pwb_range(s.main, s.header->used_size.load());
+            return;
+        }
+        if (pmem::commit_config().coalesce) {
+            // One sorted/coalesced pass, shared with copy_main_to_back():
+            // each maximal run costs one ranged flush instead of one
+            // dispatched pwb per 64 B entry.
+            const auto& runs = s.log.merged_runs();
+            auto& cs = pmem::tl_commit_stats();
+            cs.commits++;
+            cs.runs += runs.size();
+            cs.lines_logged += s.log.entries().size();
+            for (const auto& r : runs) pmem::pwb_range(s.main + r.off, r.len);
         } else {
             for (const auto& e : s.log.entries())
                 pmem::pwb_range(s.main + e.off, e.len);
@@ -567,15 +600,16 @@ class RomulusEngine {
         const uint64_t used = s.header->used_size.load();
         if (off >= used) return;
         if (off + len > used) len = used - off;
-        std::memcpy(s.back + off, s.main + off, len);
-        pmem::on_store(s.back + off, len);
-        pmem::pwb_range(s.back + off, len);
+        pmem::persist_copy(s.back + off, s.main + off, len);
     }
 
     static void copy_main_to_back() {
         if constexpr (Traits::kUseLog) {
             if (tl.tx_depth == 0 || s.log.full_copy()) {
                 copy_range_to_back(0, s.header->used_size.load());
+            } else if (pmem::commit_config().coalesce) {
+                for (const auto& r : s.log.merged_runs())
+                    copy_range_to_back(r.off, r.len);
             } else {
                 for (const auto& e : s.log.entries())
                     copy_range_to_back(e.off, e.len);
@@ -587,9 +621,7 @@ class RomulusEngine {
 
     static void copy_back_to_main() {
         const uint64_t used = s.header->used_size.load();
-        std::memcpy(s.main, s.back, used);
-        pmem::on_store(s.main, used);
-        pmem::pwb_range(s.main, used);
+        pmem::persist_copy(s.main, s.back, used);
     }
 
     static void format() {

@@ -51,6 +51,13 @@
 // chained in front of another SimHooks observer (e.g. SimPersistence) via
 // Options::next so crash tests and checking compose.
 //
+// Non-temporal stores (pmem::persist_copy) reach the checker as store+pwb
+// per streamed line — the externally visible effect of an NT store — so a
+// streamed replica line walks Dirty -> PendingWB like any other and the
+// transition checks still demand the engine's own fence before a state
+// store.  StoreAfterPwb stays meaningful too: NT content is fixed at
+// execution time, i.e. captured-at-pwb by definition (docs/checker.md).
+//
 // Concurrency: callbacks are serialised by an internal mutex, but the
 // *discipline* checks assume transactions are serialised (Romulus is
 // single-writer by construction; drive the baselines single-threaded when

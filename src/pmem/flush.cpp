@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
-#include <emmintrin.h>  // _mm_clflush, _mm_sfence
+#include <emmintrin.h>  // _mm_clflush, _mm_sfence, _mm_stream_si128
+#include <immintrin.h>  // _mm256_stream_si256 (AVX, runtime-dispatched)
 #define ROMULUS_X86 1
 #endif
 
@@ -14,6 +16,7 @@ namespace romulus::pmem {
 namespace detail {
 ProfileState g_profile{};
 SimHooks* g_sim_hooks = nullptr;
+CommitConfig g_commit_config{};
 }  // namespace detail
 
 #ifdef ROMULUS_X86
@@ -31,15 +34,32 @@ bool cpu_has_clwb() {
     return v;
 }
 
+bool cpu_has_avx() {
+    static const bool v = __builtin_cpu_supports("avx");
+    return v;
+}
+
 __attribute__((target("clflushopt"))) static void do_clflushopt(const void* p) {
     __builtin_ia32_clflushopt(const_cast<void*>(p));
 }
 __attribute__((target("clwb"))) static void do_clwb(const void* p) {
     __builtin_ia32_clwb(const_cast<void*>(p));
 }
+__attribute__((target("clflushopt"))) static void do_clflushopt_lines(
+    const uint8_t* p, size_t nlines) {
+    for (size_t i = 0; i < nlines; ++i)
+        __builtin_ia32_clflushopt(
+            const_cast<uint8_t*>(p + i * kCacheLineSize));
+}
+__attribute__((target("clwb"))) static void do_clwb_lines(const uint8_t* p,
+                                                          size_t nlines) {
+    for (size_t i = 0; i < nlines; ++i)
+        __builtin_ia32_clwb(const_cast<uint8_t*>(p + i * kCacheLineSize));
+}
 #else
 bool cpu_has_clflushopt() { return false; }
 bool cpu_has_clwb() { return false; }
+bool cpu_has_avx() { return false; }
 #endif
 
 void set_profile(Profile p) {
@@ -133,6 +153,78 @@ void pwb_line_slow(const void* addr) {
     }
 }
 
+void pwb_lines_slow(const void* addr, size_t nlines) {
+    const uint8_t* p = static_cast<const uint8_t*>(addr);
+    switch (g_profile.effective) {
+        case Profile::NOP:
+            break;
+#ifdef ROMULUS_X86
+        case Profile::CLFLUSH:
+            for (size_t i = 0; i < nlines; ++i)
+                _mm_clflush(p + i * kCacheLineSize);
+            break;
+        case Profile::CLFLUSHOPT:
+            do_clflushopt_lines(p, nlines);
+            break;
+        case Profile::CLWB:
+            do_clwb_lines(p, nlines);
+            break;
+#endif
+        case Profile::STT:
+        case Profile::PCM:
+            delay_ns(g_profile.pwb_delay_ns * nlines);
+            break;
+        default:
+            break;
+    }
+    (void)p;
+}
+
+#ifdef ROMULUS_X86
+__attribute__((target("avx"))) static void nt_copy_avx(uint8_t* d,
+                                                       const uint8_t* s,
+                                                       size_t len) {
+    size_t i = 0;
+    // d is 16-byte aligned by contract; stream one 128-bit chunk if needed
+    // to reach the 32-byte alignment the 256-bit stores want.
+    if ((reinterpret_cast<uintptr_t>(d) & 31u) != 0 && i + 16 <= len) {
+        _mm_stream_si128(reinterpret_cast<__m128i*>(d),
+                         _mm_loadu_si128(reinterpret_cast<const __m128i*>(s)));
+        i = 16;
+    }
+    for (; i + 32 <= len; i += 32)
+        _mm256_stream_si256(
+            reinterpret_cast<__m256i*>(d + i),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i)));
+    for (; i + 16 <= len; i += 16)
+        _mm_stream_si128(
+            reinterpret_cast<__m128i*>(d + i),
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i)));
+}
+
+static void nt_copy_sse2(uint8_t* d, const uint8_t* s, size_t len) {
+    for (size_t i = 0; i + 16 <= len; i += 16)
+        _mm_stream_si128(
+            reinterpret_cast<__m128i*>(d + i),
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i)));
+}
+
+void nt_copy(void* dst, const void* src, size_t len) {
+    if (cpu_has_avx()) {
+        nt_copy_avx(static_cast<uint8_t*>(dst),
+                    static_cast<const uint8_t*>(src), len);
+    } else {
+        nt_copy_sse2(static_cast<uint8_t*>(dst),
+                     static_cast<const uint8_t*>(src), len);
+    }
+}
+#else
+void nt_copy(void* dst, const void* src, size_t len) {
+    std::memcpy(dst, src, len);  // scalar fallback: persist_copy never
+                                 // selects the NT path off x86 anyway
+}
+#endif
+
 void fence_slow() {
     switch (g_profile.effective) {
         case Profile::NOP:
@@ -154,4 +246,54 @@ void fence_slow() {
 }
 
 }  // namespace detail
+
+void persist_copy(void* dst, const void* src, size_t len) {
+    if (len == 0) return;
+    uint8_t* d = static_cast<uint8_t*>(dst);
+    const uint8_t* s = static_cast<const uint8_t*>(src);
+    bool use_nt = false;
+#ifdef ROMULUS_X86
+    // The delay-emulation profiles (STT/PCM) charge NVM cost per pwb; the
+    // streaming path would make replication artificially free there, so it
+    // is reserved for the real-instruction profiles.
+    use_nt = len >= detail::g_commit_config.nt_threshold &&
+             (reinterpret_cast<uintptr_t>(d) & 15u) == 0 &&
+             detail::g_profile.pwb_delay_ns == 0;
+#endif
+    if (!use_nt) {
+        // Cached path: identical to the classic replication sequence.
+        std::memcpy(d, s, len);
+        on_store(d, len);
+        pwb_range(d, len);
+        tl_commit_stats().cached_bytes += len;
+        return;
+    }
+#ifdef ROMULUS_X86
+    const size_t body = len & ~size_t{15};
+    detail::nt_copy(d, s, body);
+    if (body < len) std::memcpy(d + body, s + body, len - body);
+    // Drain the write-combining buffers: after this, the streamed bytes are
+    // write-back-complete without any per-line pwb.  The caller's pfence()
+    // still provides ordering against everything that follows.
+    _mm_sfence();
+    tl_stats().nvm_bytes += len;
+    tl_commit_stats().nt_bytes += body;
+    if (detail::g_sim_hooks) {
+        // An NT store is externally a store whose line leaves for memory at
+        // once: report store + per-line pwb so the shadow models see the
+        // streamed content as pending until the engine's next fence.
+        detail::g_sim_hooks->on_store(d, len);
+        auto p = reinterpret_cast<uintptr_t>(d) & ~(kCacheLineSize - 1);
+        const auto body_end = reinterpret_cast<uintptr_t>(d) + body;
+        for (; p < body_end; p += kCacheLineSize)
+            detail::g_sim_hooks->on_pwb(reinterpret_cast<const void*>(p));
+    }
+    if (body < len) {
+        // Sub-16-byte tail went through a cached store: its line needs a
+        // real write-back (counted/observed through the normal pwb path).
+        tl_commit_stats().cached_bytes += len - body;
+        pwb(d + body);
+    }
+#endif
+}
 }  // namespace romulus::pmem

@@ -40,6 +40,8 @@ enum class Profile : int {
 /// True if this CPU executes CLFLUSHOPT / CLWB (CPUID leaf 7).
 bool cpu_has_clflushopt();
 bool cpu_has_clwb();
+/// True if this CPU executes 256-bit AVX stores (persist_copy dispatch).
+bool cpu_has_avx();
 
 /// Select the active profile.  Unsupported hardware profiles silently degrade
 /// (CLWB -> CLFLUSHOPT -> CLFLUSH) so benches run anywhere; query
@@ -88,6 +90,21 @@ class SimHooks {
 void set_sim_hooks(SimHooks* hooks);
 SimHooks* sim_hooks();
 
+/// Tuning knobs of the coalesced/streaming commit pipeline.  Process-global
+/// (like the flush profile) so one bench/test binary can A/B the pre- and
+/// post-overhaul commit paths without rebuilding.
+struct CommitConfig {
+    /// Consume RangeLog::merged_runs() at commit instead of re-walking the
+    /// unsorted per-line entries (flush and replication both).
+    bool coalesce = true;
+    /// Minimum length in bytes for a replication run to take the
+    /// non-temporal streaming path of persist_copy(); shorter runs (and
+    /// SIZE_MAX) use cached stores + per-line pwb.  NT stores bypass the
+    /// cache, so tiny hot runs are better left cacheable.
+    size_t nt_threshold = 4 * kCacheLineSize;
+};
+CommitConfig& commit_config();
+
 namespace detail {
 struct ProfileState {
     Profile requested = Profile::CLFLUSH;
@@ -97,11 +114,20 @@ struct ProfileState {
 };
 extern ProfileState g_profile;
 extern SimHooks* g_sim_hooks;
+extern CommitConfig g_commit_config;
 
 void pwb_line_slow(const void* addr);  // dispatches on g_profile
+/// Write back nlines consecutive cache lines starting at the (line-aligned)
+/// address: dispatches on g_profile once, then runs the intrinsic loop.
+void pwb_lines_slow(const void* addr, size_t nlines);
 void fence_slow();
 void delay_ns(uint64_t ns);
+/// memcpy via non-temporal stores (SSE2 stream baseline, AVX when the CPU
+/// has it, scalar tail).  dst must be 16-byte aligned; len a multiple of 16.
+void nt_copy(void* dst, const void* src, size_t len);
 }  // namespace detail
+
+inline CommitConfig& commit_config() { return detail::g_commit_config; }
 
 /// Write back the cache line containing addr.
 inline void pwb(const void* addr) {
@@ -115,8 +141,35 @@ inline void pwb_range(const void* addr, size_t len) {
     if (len == 0) return;
     auto p = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
     auto end = reinterpret_cast<uintptr_t>(addr) + len;
+    const size_t nlines = (end - p + kCacheLineSize - 1) / kCacheLineSize;
+    if (detail::g_sim_hooks == nullptr) {
+        // Hook-free fast path: one counter bump for the whole range, then
+        // the flush-instruction loop with the profile dispatched once —
+        // no per-line branch + virtual call + increment.
+        tl_stats().pwb += nlines;
+        detail::pwb_lines_slow(reinterpret_cast<const void*>(p), nlines);
+        return;
+    }
     for (; p < end; p += kCacheLineSize) pwb(reinterpret_cast<const void*>(p));
 }
+
+/// Streaming replication: copy [src, src+len) to dst and schedule it for
+/// persistence, equivalent to memcpy + on_store + pwb_range but using
+/// non-temporal stores for long runs.  NT stores bypass the cache entirely,
+/// so the per-line pwb disappears; the WC buffers are drained by an sfence
+/// before returning (required: under the CLFLUSH profile the paper-model
+/// pfence is a nop and would not order the streamed data before the
+/// subsequent state write-back).  Like pwb_range, *ordering against later
+/// pwbs/stores* still comes from the caller's pfence()/psync().
+///
+/// Crash-model soundness: the sim hooks observe each streamed line as a
+/// store immediately followed by a pwb of captured content — exactly the
+/// externally visible behaviour of an NT store — so SimPersistence and
+/// PersistencyChecker stay sound under both FlushContent modes (the internal
+/// sfence is deliberately NOT reported as a fence: the model then treats
+/// streamed lines as pending until the engine's own fence, which is strictly
+/// more conservative than the hardware).
+void persist_copy(void* dst, const void* src, size_t len);
 
 /// Order preceding pwbs before subsequent ones.
 inline void pfence() {

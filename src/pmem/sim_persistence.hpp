@@ -21,6 +21,14 @@
 // completes (AtFence).  Hardware may do either; algorithms must be correct
 // under both.
 //
+// Non-temporal stores (pmem::persist_copy) appear in the event stream as a
+// store immediately followed by a pwb of each streamed line, with NO fence
+// for persist_copy's internal sfence: streamed lines therefore stay pending
+// here until the engine's own pfence/psync, strictly more conservative than
+// the hardware (which would have persisted them at the sfence).  Since an NT
+// store's content is final when it executes, AtPwb and AtFence capture
+// identical bytes for those lines (docs/checker.md, "Non-temporal stores").
+//
 // A "crash" replaces the live region's bytes with the shadow image, which is
 // exactly the state a recovery procedure would see after a power failure.
 #pragma once

@@ -3,9 +3,14 @@
 namespace romulus::pmem {
 
 static thread_local Stats g_tl_stats;
+static thread_local CommitStats g_tl_commit_stats;
 
 Stats& tl_stats() { return g_tl_stats; }
 
 void reset_tl_stats() { g_tl_stats = Stats{}; }
+
+CommitStats& tl_commit_stats() { return g_tl_commit_stats; }
+
+void reset_tl_commit_stats() { g_tl_commit_stats = CommitStats{}; }
 
 }  // namespace romulus::pmem

@@ -51,4 +51,33 @@ Stats& tl_stats();
 /// Reset this thread's counters to zero.
 void reset_tl_stats();
 
+/// Commit-pipeline instrumentation (one struct per thread, like Stats).
+/// Tracks how the coalesced/streaming commit path actually behaved: how many
+/// per-line log entries were merged into how many maximal runs, and how many
+/// replicated bytes went through the non-temporal streaming path versus the
+/// classic cached-store + per-line-pwb path.  The pwb savings these counters
+/// explain show up in Stats::pwb; this struct says *why*.
+struct CommitStats {
+    uint64_t commits = 0;       ///< commits that consumed a merged-run pass
+    uint64_t runs = 0;          ///< coalesced [off,len) runs consumed
+    uint64_t lines_logged = 0;  ///< per-line log entries before merging
+    uint64_t nt_bytes = 0;      ///< replica bytes via non-temporal stores
+    uint64_t cached_bytes = 0;  ///< replica bytes via cached stores + pwb
+
+    /// Lines whose individual memcpy/pwb dispatch was avoided by merging.
+    uint64_t lines_merged() const { return lines_logged - runs; }
+    /// Mean run length in cache lines (1.0 = nothing ever coalesced).
+    double avg_run_lines() const {
+        return runs == 0 ? 0.0
+                         : static_cast<double>(lines_logged) /
+                               static_cast<double>(runs);
+    }
+};
+
+/// This thread's commit-path counters (single-writer engines commit on the
+/// combiner thread, so per-thread counting composes the same way tl_stats
+/// does for pwbs).
+CommitStats& tl_commit_stats();
+void reset_tl_commit_stats();
+
 }  // namespace romulus::pmem

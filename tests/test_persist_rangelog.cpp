@@ -198,6 +198,121 @@ TEST(RangeLogTest, ProbeClusterCrowdingFallsBackToFullCopy) {
     EXPECT_EQ(offs.size(), log.entries().size());
 }
 
+// ------------------------------------------------- RangeLog::merged_runs
+
+TEST(RangeLogRuns, AdjacentLinesCoalesceIntoOneRun) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    for (int i = 0; i < 16; ++i) log.add(i * 64, 8);  // 16 adjacent lines
+    const auto& runs = log.merged_runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].off, 0u);
+    EXPECT_EQ(runs[0].len, 16u * 64u);
+}
+
+TEST(RangeLogRuns, DisjointGroupsStaySeparate) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(0, 128);      // lines 0..1
+    log.add(4096, 8);     // line 64
+    log.add(8192, 200);   // lines 128..131
+    const auto& runs = log.merged_runs();
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0].off, 0u);
+    EXPECT_EQ(runs[0].len, 128u);
+    EXPECT_EQ(runs[1].off, 4096u);
+    EXPECT_EQ(runs[1].len, 64u);
+    EXPECT_EQ(runs[2].off, 8192u);
+    EXPECT_EQ(runs[2].len, 4u * 64u);
+}
+
+TEST(RangeLogRuns, OutOfOrderInsertionSortsBeforeMerging) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    // Insert a contiguous region backwards and interleaved.
+    for (int i : {7, 2, 5, 0, 6, 1, 4, 3}) log.add(size_t(i) * 64, 8);
+    const auto& runs = log.merged_runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].off, 0u);
+    EXPECT_EQ(runs[0].len, 8u * 64u);
+}
+
+TEST(RangeLogRuns, OverlappingStoresMergeWithoutDoubleCounting) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(60, 200);  // lines 0..4 (spanning store)
+    log.add(128, 8);   // line 2 again — deduped at add, but merge must cope
+    log.add(300, 8);   // line 4 again
+    const auto& runs = log.merged_runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].off, 0u);
+    EXPECT_EQ(runs[0].len, 5u * 64u);
+}
+
+TEST(RangeLogRuns, CacheInvalidatedByLaterAdds) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(0, 8);
+    EXPECT_EQ(log.merged_runs().size(), 1u);  // computed and cached
+    log.add(64, 8);  // adjacent: must extend the run, not be dropped
+    const auto& runs = log.merged_runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].len, 128u);
+    log.add(4096, 8);  // disjoint: becomes a second run
+    EXPECT_EQ(log.merged_runs().size(), 2u);
+}
+
+TEST(RangeLogRuns, NewTransactionDropsCachedRuns) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(0, 8);
+    log.add(4096, 8);
+    EXPECT_EQ(log.merged_runs().size(), 2u);
+    log.begin_tx(SIZE_MAX);
+    EXPECT_TRUE(log.merged_runs().empty());
+    log.add(128, 8);
+    ASSERT_EQ(log.merged_runs().size(), 1u);
+    EXPECT_EQ(log.merged_runs()[0].off, 128u);
+}
+
+TEST(RangeLogRuns, FullCopyDegradationStopsAccumulating) {
+    RangeLog log;
+    log.begin_tx(128);  // at most two lines before degradation
+    log.add(0, 8);
+    log.add(64, 8);
+    log.add(4096, 8);  // trips the threshold
+    ASSERT_TRUE(log.full_copy());
+    // Commit must not consult the runs in full-copy mode; if it did anyway,
+    // the merge still only covers what was logged before degradation.
+    for (const auto& r : log.merged_runs())
+        EXPECT_LE(r.off + r.len, 4096u + 64u);
+    // adds after degradation are ignored entirely
+    log.add(1u << 20, 8);
+    EXPECT_EQ(log.entries().size(), 3u);
+}
+
+TEST(RangeLogRuns, EpochWrapStillDedupsAndMerges) {
+    RangeLog log;
+    log.begin_tx(SIZE_MAX);
+    log.add(0, 8);
+    log.add(64, 8);
+    log.debug_set_epoch(0xFFFFFFFFu);
+    log.begin_tx(SIZE_MAX);  // wrap: table reset, epoch restarts at 1
+    ASSERT_EQ(log.debug_epoch(), 1u);
+    // Re-log the same lines plus duplicates: dedup must still work (one
+    // entry per line) and the merge must produce a single contiguous run.
+    log.add(0, 8);
+    log.add(64, 8);
+    log.add(0, 8);
+    log.add(128, 8);
+    log.add(64, 8);
+    EXPECT_EQ(log.entries().size(), 3u);
+    const auto& runs = log.merged_runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].off, 0u);
+    EXPECT_EQ(runs[0].len, 3u * 64u);
+}
+
 // The 32-bit epoch counter wrapping back to the slot-vector fill value (0)
 // must not make stale/empty slots look occupied by the current transaction:
 // that would silently drop lines from the commit flush+copy (lost stores
