@@ -158,35 +158,27 @@ void copy_sweep(std::vector<CopyResult>& out) {
     pmem::commit_config() = pmem::CommitConfig{};
 }
 
-void write_json(const char* path, const std::vector<TxResult>& tx,
+void write_json(const std::vector<TxResult>& tx,
                 const std::vector<CopyResult>& copy) {
-    FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "bench_commit_path: cannot write %s\n", path);
-        return;
+    auto json = JsonEmitter::from_env("commit_path");
+    json.scalar("profile", pmem::profile_name(pmem::effective_profile()));
+    json.begin_array("tx_sweep");
+    for (const auto& r : tx) {
+        json.record(JsonEmitter::fields(
+            {JsonEmitter::num("footprint", uint64_t{r.footprint}),
+             JsonEmitter::str("mode", r.mode),
+             JsonEmitter::num("pwbs_per_tx", r.pwbs_per_tx, "%.2f"),
+             JsonEmitter::num("ns_per_tx", r.ns_per_tx, "%.0f"),
+             JsonEmitter::num("runs_per_tx", r.runs_per_tx, "%.2f"),
+             JsonEmitter::num("nt_frac", r.nt_frac, "%.3f")}));
     }
-    std::fprintf(f, "{\n  \"bench\": \"commit_path\",\n  \"profile\": \"%s\",\n",
-                 pmem::profile_name(pmem::effective_profile()));
-    std::fprintf(f, "  \"tx_sweep\": [\n");
-    for (size_t i = 0; i < tx.size(); ++i) {
-        const auto& r = tx[i];
-        std::fprintf(f,
-                     "    {\"footprint\": %zu, \"mode\": \"%s\", "
-                     "\"pwbs_per_tx\": %.2f, \"ns_per_tx\": %.0f, "
-                     "\"runs_per_tx\": %.2f, \"nt_frac\": %.3f}%s\n",
-                     r.footprint, r.mode, r.pwbs_per_tx, r.ns_per_tx,
-                     r.runs_per_tx, r.nt_frac, i + 1 < tx.size() ? "," : "");
+    json.begin_array("persist_copy");
+    for (const auto& r : copy) {
+        json.record(JsonEmitter::fields(
+            {JsonEmitter::num("bytes", uint64_t{r.bytes}),
+             JsonEmitter::str("path", r.path),
+             JsonEmitter::num("gib_s", r.gib_s, "%.3f")}));
     }
-    std::fprintf(f, "  ],\n  \"persist_copy\": [\n");
-    for (size_t i = 0; i < copy.size(); ++i) {
-        const auto& r = copy[i];
-        std::fprintf(f,
-                     "    {\"bytes\": %zu, \"path\": \"%s\", \"gib_s\": %.3f}%s\n",
-                     r.bytes, r.path, r.gib_s, i + 1 < copy.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nJSON written to %s\n", path);
 }
 
 }  // namespace
@@ -202,8 +194,6 @@ int main() {
     tx_sweep(tx);
     copy_sweep(copy);
 
-    if (const char* json = std::getenv("ROMULUS_BENCH_JSON")) {
-        write_json(json, tx, copy);
-    }
+    write_json(tx, copy);
     return 0;
 }

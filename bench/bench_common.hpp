@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <random>
 #include <string>
 #include <thread>
@@ -63,6 +64,12 @@ struct Session {
         : path(bench_heap_path(tag)) {
         std::remove(path.c_str());
         E::init(bytes, path);
+    }
+    /// Sharded variant (engines with an init(bytes, file, shards) overload).
+    Session(size_t bytes, const std::string& tag, unsigned shards)
+        : path(bench_heap_path(tag)) {
+        std::remove(path.c_str());
+        E::init(bytes, path, shards);
     }
     ~Session() {
         if (E::initialized()) E::destroy();
@@ -140,6 +147,121 @@ void prepopulate(uint64_t n, InsertFn&& insert, uint64_t batch = 256) {
 inline void print_header(const char* title) {
     std::printf("\n=== %s ===\n", title);
 }
+
+/// Minimal streaming writer for the ROMULUS_BENCH_JSON artifacts the CI
+/// smoke jobs upload: a single top-level object of scalars plus flat arrays
+/// of records.  Shared by bench_commit_path and bench_sharding so the two
+/// artifacts stay structurally uniform.
+///
+///     auto json = JsonEmitter::from_env("sharding");
+///     json.scalar("profile", pmem::profile_name(...));
+///     json.begin_array("sweep");
+///     json.record(JsonEmitter::fields(
+///         {JsonEmitter::num("threads", t), JsonEmitter::num("x", v, "%.2f")}));
+///     // destructor closes the array, the object and the file
+///
+/// A disabled emitter (env unset / file unwritable) turns every call into a
+/// no-op, so benches emit unconditionally and let the env decide.
+class JsonEmitter {
+  public:
+    /// Emitter on $ROMULUS_BENCH_JSON, or a disabled one when unset.
+    static JsonEmitter from_env(const char* bench_name) {
+        return JsonEmitter(std::getenv("ROMULUS_BENCH_JSON"), bench_name);
+    }
+
+    JsonEmitter(const char* path, const char* bench_name) {
+        if (path == nullptr) return;
+        f_ = std::fopen(path, "w");
+        if (f_ == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path);
+            return;
+        }
+        path_ = path;
+        std::fprintf(f_, "{\n  \"bench\": \"%s\"", bench_name);
+    }
+    JsonEmitter(JsonEmitter&& o) noexcept
+        : f_(o.f_), path_(std::move(o.path_)), in_array_(o.in_array_),
+          first_elem_(o.first_elem_) {
+        o.f_ = nullptr;
+    }
+    JsonEmitter(const JsonEmitter&) = delete;
+    JsonEmitter& operator=(const JsonEmitter&) = delete;
+    ~JsonEmitter() {
+        if (f_ == nullptr) return;
+        if (in_array_) std::fprintf(f_, "\n  ]");
+        std::fprintf(f_, "\n}\n");
+        std::fclose(f_);
+        std::printf("\nJSON written to %s\n", path_.c_str());
+    }
+
+    explicit operator bool() const { return f_ != nullptr; }
+
+    void scalar(const char* key, const char* value) {
+        if (f_ == nullptr) return;
+        close_array();
+        std::fprintf(f_, ",\n  \"%s\": \"%s\"", key, value);
+    }
+    void scalar(const char* key, double value, const char* fmt = "%g") {
+        if (f_ == nullptr) return;
+        close_array();
+        std::fprintf(f_, ",\n  \"%s\": ", key);
+        std::fprintf(f_, fmt, value);
+    }
+
+    void begin_array(const char* key) {
+        if (f_ == nullptr) return;
+        close_array();
+        std::fprintf(f_, ",\n  \"%s\": [", key);
+        in_array_ = true;
+        first_elem_ = true;
+    }
+    /// One record (already-joined `"k": v` fields) in the open array.
+    void record(const std::string& fields) {
+        if (f_ == nullptr || !in_array_) return;
+        std::fprintf(f_, "%s\n    {%s}", first_elem_ ? "" : ",",
+                     fields.c_str());
+        first_elem_ = false;
+    }
+
+    // --- field builders ----------------------------------------------------
+    static std::string num(const char* key, uint64_t v) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "\"%s\": %llu", key,
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+    static std::string num(const char* key, double v, const char* fmt = "%g") {
+        char val[48];
+        std::snprintf(val, sizeof val, fmt, v);
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "\"%s\": %s", key, val);
+        return buf;
+    }
+    static std::string str(const char* key, const char* v) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "\"%s\": \"%s\"", key, v);
+        return buf;
+    }
+    static std::string fields(std::initializer_list<std::string> fs) {
+        std::string out;
+        for (const auto& f : fs) {
+            if (!out.empty()) out += ", ";
+            out += f;
+        }
+        return out;
+    }
+
+  private:
+    void close_array() {
+        if (in_array_) std::fprintf(f_, "\n  ]");
+        in_array_ = false;
+    }
+
+    FILE* f_ = nullptr;
+    std::string path_;
+    bool in_array_ = false;
+    bool first_elem_ = true;
+};
 
 /// Human-readable ops/sec.
 inline std::string fmt_rate(double ops) {

@@ -100,6 +100,62 @@ void BM_leftright_arrive_depart(benchmark::State& state) {
     }
 }
 
+/// Raise the thread registry's tid high-water mark to at least `n` by
+/// briefly holding n registered threads alive at once.  max_tids() never
+/// shrinks, so the writer drain below scans an n-slot indicator even though
+/// the threads are gone — the long-lived-process shape (thread pools grown
+/// and drained) where the drain's scan cost shows.
+void inflate_max_tids(int n) {
+    if (sync::max_tids() >= n) return;
+    std::atomic<int> arrived{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    ts.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        ts.emplace_back([&] {
+            (void)sync::tid();
+            arrived.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        });
+    }
+    while (arrived.load() < n) std::this_thread::yield();
+    go.store(true, std::memory_order_release);
+    for (auto& t : ts) t.join();
+}
+
+/// Writer acquire/release over an inflated (96-slot) but empty indicator:
+/// the unavoidable one-pass O(max_tids) scan every drain pays.
+void BM_crwwp_write_drain_empty(benchmark::State& state) {
+    static sync::CRWWPLock lock;
+    inflate_max_tids(96);
+    for (auto _ : state) {
+        lock.write_lock();
+        lock.write_unlock();
+    }
+}
+
+/// Same drain with one reader churning on a high slot (95 of 96): each spin
+/// iteration of the resumable drain re-checks only from the busy slot
+/// onward, where the old from-scratch is_empty() rescan walked all 95
+/// leading empty slots per spin.
+void BM_crwwp_write_drain_reader_churn(benchmark::State& state) {
+    static sync::CRWWPLock lock;
+    inflate_max_tids(96);
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            lock.read_lock(95);
+            lock.read_unlock(95);
+        }
+    });
+    for (auto _ : state) {
+        lock.write_lock();
+        lock.write_unlock();
+    }
+    stop.store(true);
+    reader.join();
+}
+
 void BM_empty_update_tx(benchmark::State& state) {
     pmem::set_profile(pmem::Profile::NOP);
     for (auto _ : state) RomulusLog::updateTx([&] {});
@@ -125,6 +181,10 @@ BENCHMARK(BM_crwwp_read_lock);
 BENCHMARK(BM_leftright_arrive_depart);
 BENCHMARK(BM_empty_update_tx);
 BENCHMARK(BM_read_tx);
+// Registered last: inflate_max_tids permanently raises the registry
+// high-water, which would slow every later drain in this binary.
+BENCHMARK(BM_crwwp_write_drain_empty);
+BENCHMARK(BM_crwwp_write_drain_reader_churn);
 
 int main(int argc, char** argv) {
     heap();  // initialise before benchmark touches anything

@@ -11,8 +11,12 @@
 // blocks from external inconsistency.
 //
 // The allocator is sequential by design: in Romulus there is always a single
-// writer (the flat-combining combiner), which is what lets a stock
-// sequential allocator be used at all (§5.3, last paragraph).
+// writer per instance (the flat-combining combiner), which is what lets a
+// stock sequential allocator be used at all (§5.3, last paragraph).  With
+// intra-heap sharding each shard owns one PAllocator over its own pool
+// slice; the per-shard writer lock preserves exactly this single-writer
+// contract, and cross-shard pointers must never be freed here (the engine
+// asserts ownership in free_bytes).
 #pragma once
 
 #include <bit>
@@ -130,6 +134,9 @@ class PAllocator {
     /// Free a pointer previously returned by alloc().
     void free(void* ptr) {
         assert(ptr != nullptr);
+        assert(static_cast<uint8_t*>(ptr) >= pool_ &&
+               static_cast<uint8_t*>(ptr) < pool_ + pool_size_ &&
+               "free of a pointer outside this allocator's pool");
         Chunk* c = chunk_of(ptr);
         assert(c->in_use() && "double free or wild pointer");
         uint64_t sz = c->size();

@@ -39,4 +39,15 @@ size_t default_heap_bytes() {
     return 64ull * 1024 * 1024;
 }
 
+unsigned default_shard_count() {
+    if (const char* e = std::getenv("ROMULUS_SHARDS")) {
+        long v = std::atol(e);
+        if (v >= 1) {
+            return v > long(kMaxShards) ? kMaxShards
+                                        : static_cast<unsigned>(v);
+        }
+    }
+    return 1;
+}
+
 }  // namespace romulus

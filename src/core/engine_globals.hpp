@@ -11,8 +11,16 @@ namespace romulus {
 /// Default persistent heap size: ROMULUS_HEAP_MB env var (in MiB) or 64 MiB.
 size_t default_heap_bytes();
 
-/// Size of every PTM's root-object ("objects array", §4.3) table.
+/// Size of every PTM's root-object ("objects array", §4.3) table, per shard.
 inline constexpr int kMaxRootObjects = 64;
+
+/// Upper bound on intra-heap shards: one ShardHeader cache line per shard
+/// must fit in the engines' reserved 4 KiB header page.
+inline constexpr unsigned kMaxShards = 32;
+
+/// Default shard count when init() is called without one: ROMULUS_SHARDS env
+/// var clamped to [1, kMaxShards], or 1 (the classic single-writer layout).
+unsigned default_shard_count();
 
 /// Process-wide transaction-lifecycle counters, aggregated across all
 /// engines.  Cheap (relaxed atomics); mostly useful to sanity-check that the

@@ -37,6 +37,13 @@ class RangeLog {
           lines_(size_t{1} << table_bits),
           epochs_(size_t{1} << table_bits, 0) {}
 
+    /// Dedup-table sizing policy for a sharded engine: one log per shard, so
+    /// with many shards each table can be smaller — a shard sees only its
+    /// slice of the write traffic, and 2^bits slots cost 12 bytes each.
+    static size_t suggested_table_bits(unsigned shards) {
+        return shards > 1 ? 14 : 16;
+    }
+
     /// Start a transaction.  `full_copy_threshold` is the number of logged
     /// bytes beyond which we give up and fall back to a full region copy.
     void begin_tx(size_t full_copy_threshold) {

@@ -14,10 +14,19 @@
 //                read-only transactions that run on the back region through
 //                synthetic pointers (Figure 3) while the writer mutates main.
 //
-// Memory layout (Figure 2):   [ header | main | back ]
-// with the root-object array and the allocator metadata living at the start
-// of main — i.e. inside the replicated area — so that a crash rolls them
-// back together with user data (§4.4).
+// Memory layout (Figure 2, generalised to S intra-heap shards):
+//
+//   [ header | main_0 | back_0 | main_1 | back_1 | ... ]
+//
+// Each shard zone is an independent twin-copy Romulus heap: its own state
+// word and used_size (one ShardHeader cache line in the header page), its
+// own root-object array + allocator metadata at the start of its main half
+// (i.e. inside the replicated area, so a crash rolls them back together with
+// user data, §4.4), and its own volatile concurrency kit — C-RW-WP lock,
+// flat-combining array and range log — so update transactions on different
+// shards commit fully in parallel.  S=1 (the default) is exactly the paper's
+// single-writer engine; recovery scans every shard's state word and rolls
+// each shard forward/back independently.
 #pragma once
 
 #include <atomic>
@@ -45,7 +54,7 @@
 
 namespace romulus {
 
-/// Transaction state machine of Algorithm 1.
+/// Transaction state machine of Algorithm 1 (per shard).
 enum TxState : uint32_t {
     IDL = 0,  ///< no transaction: both copies consistent
     MUT = 1,  ///< mutating main: back is the consistent copy
@@ -67,51 +76,75 @@ class RomulusEngine {
 
     /// Map (and if needed format) the persistent heap.  Runs recovery when
     /// attaching to an existing heap (so a heap left in MUT/CPY by a crash
-    /// is consistent before the first access).
-    static void init(size_t heap_bytes = 0, const std::string& file = {}) {
+    /// is consistent before the first access).  `shards` picks the zone
+    /// count for a *fresh* heap (0: the ROMULUS_SHARDS env default); a valid
+    /// existing heap dictates its own stored shard count — adopting the
+    /// persisted geometry instead of reformatting on mismatch is what makes
+    /// a heap created with S=4 reopen safely from a default-configured
+    /// process.
+    static void init(size_t heap_bytes = 0, const std::string& file = {},
+                     unsigned shards = 0) {
         if (s.initialized) throw std::runtime_error("RomulusEngine: double init");
+        const unsigned want = shards != 0 ? shards : default_shard_count();
+        if (want < 1 || want > kMaxShards)
+            throw std::invalid_argument("RomulusEngine: shard count out of range");
         size_t size = heap_bytes ? heap_bytes : default_heap_bytes();
         size = (size + 4095) & ~size_t{4095};
         std::string path = file.empty()
                                ? pmem::default_pmem_dir() + "/" + Traits::kFileName
                                : file;
         bool created = s.region.map(path, size, Traits::kBaseAddr);
-
         s.header = reinterpret_cast<PHeader*>(s.region.base());
-        s.main = s.region.base() + kHeaderReserved;
-        s.main_size = ((size - kHeaderReserved) / 2) & ~size_t{63};
-        s.back = s.main + s.main_size;
-        s.meta = reinterpret_cast<MainMeta*>(s.main);
 
-        const bool valid = !created &&
-                           s.header->magic.load() == magic_value() &&
-                           s.header->main_size == s.main_size;
+        bool valid = !created && s.header->magic.load() == magic_value() &&
+                     s.header->shard_count >= 1 &&
+                     s.header->shard_count <= kMaxShards &&
+                     s.header->region_size == size;
+        const unsigned S = valid ? s.header->shard_count : want;
+        try {
+            s.layout = pmem::ShardLayout::compute(size, S, kHeaderReserved);
+            if (valid && s.header->main_size != s.layout.main_size) {
+                valid = false;  // geometry mismatch: reformat with the request
+                if (S != want)
+                    s.layout =
+                        pmem::ShardLayout::compute(size, want, kHeaderReserved);
+            }
+        } catch (...) {
+            s.region.unmap();  // leave the engine re-initializable
+            s.header = nullptr;
+            throw;
+        }
+        s.nshards = s.layout.shards;
+        s.main_size = s.layout.main_size;
+        build_shards();
+
         if (valid) {
             recover();
         } else {
             format();
         }
-        s.alloc.attach(&s.meta->alloc_meta, pool_base(), pool_size());
-        s.used_pwb_pending = false;  // any deferred pwb died with the restart
-        ROMULUS_RACE_REGISTER_REGION(s.main, s.main_size, Traits::kName, "main",
-                                     &s.header->state);
-        ROMULUS_RACE_REGISTER_REGION(s.back, s.main_size, Traits::kName, "back",
-                                     &s.header->state);
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            Shard& sh = shard(i);
+            sh.alloc.attach(&sh.meta->alloc_meta, pool_base(sh), pool_size(sh));
+            sh.used_pwb_pending = false;  // deferred pwbs died with the restart
+            ROMULUS_RACE_REGISTER_REGION(sh.main, s.main_size, Traits::kName,
+                                         "main", &sh.hdr->state);
+            ROMULUS_RACE_REGISTER_REGION(sh.back, s.main_size, Traits::kName,
+                                         "back", &sh.hdr->state);
+        }
         s.initialized = true;
     }
 
     /// Unmap the heap (contents persist in the file).
     static void close() {
-        ROMULUS_RACE_UNREGISTER_REGION(s.main);
-        ROMULUS_RACE_UNREGISTER_REGION(s.back);
+        teardown_shards();
         s.region.unmap();
         s.initialized = false;
     }
 
     /// Unmap and delete the heap file (tests).
     static void destroy() {
-        ROMULUS_RACE_UNREGISTER_REGION(s.main);
-        ROMULUS_RACE_UNREGISTER_REGION(s.back);
+        teardown_shards();
         s.region.destroy();
         s.initialized = false;
     }
@@ -126,7 +159,8 @@ class RomulusEngine {
     static void pstore(T* addr, const T& val) {
         *addr = val;
         ROMULUS_RACE_WRITE(addr, sizeof(T));
-        if (!in_main(addr)) {
+        Shard* sh = owning_shard_main(addr);
+        if (sh == nullptr) {
             // Stack/volatile persist<T> instances (unit tests) or stores to
             // the non-replicated header: just account + flush when mapped.
             if (s.initialized && s.region.contains(addr)) {
@@ -137,9 +171,9 @@ class RomulusEngine {
         }
         pmem::on_store(addr, sizeof(T));
         if constexpr (Traits::kUseLog) {
-            if (tl.tx_depth > 0) {
+            if (tl.tx_depth > 0 && sh == &shard(tl.shard)) {
                 // pwb deferred: commit flushes each logged line exactly once.
-                s.log.add(main_offset(addr), sizeof(T));
+                sh->log.add(main_offset(*sh, addr), sizeof(T));
                 pmem::notify_range_logged(addr, sizeof(T));
                 return;
             }
@@ -157,8 +191,8 @@ class RomulusEngine {
         if constexpr (Traits::kUseLR && std::is_pointer_v<T>) {
             // Synthetic pointers (§5.3, Figure 3): a reader directed at the
             // back region shifts every main-internal pointer by main_size so
-            // the traversal stays inside back.
-            if (tl.read_offset != 0 && in_main(v)) {
+            // the traversal stays inside the same shard's back half.
+            if (tl.read_offset != 0 && in_shard_main(current_shard(), v)) {
                 v = reinterpret_cast<T>(reinterpret_cast<uintptr_t>(v) +
                                         tl.read_offset);
             }
@@ -179,43 +213,52 @@ class RomulusEngine {
         range_written(dst, n);
     }
 
-    /// Growth notification from the allocator: keeps header.used_size a
-    /// monotonic upper bound of every byte ever mutated in main, which is
-    /// what bounds the recovery copies (§6.5).  Inside a transaction the
-    /// write-back is deferred to commit — an allocation-heavy transaction
-    /// grows used_size many times but needs exactly one pwb of the line,
-    /// and the commit fence that precedes the CPY state store orders it
-    /// before CPY becomes persistent (the required ordering: CPY must never
-    /// be durable with a stale used_size, or the main->back copy would miss
-    /// committed bytes).
+    /// Growth notification from the allocator: keeps the shard's used_size a
+    /// monotonic upper bound of every byte ever mutated in its main half,
+    /// which is what bounds the recovery copies (§6.5).  Inside a
+    /// transaction the write-back is deferred to commit — an
+    /// allocation-heavy transaction grows used_size many times but needs
+    /// exactly one pwb of the line, and the commit fence that precedes the
+    /// CPY state store orders it before CPY becomes persistent (the required
+    /// ordering: CPY must never be durable with a stale used_size, or the
+    /// main->back copy would miss committed bytes).
     static void note_used(const void* end) {
-        uint64_t off = static_cast<const uint8_t*>(end) - s.main;
-        if (off > s.header->used_size.load(std::memory_order_relaxed)) {
-            s.header->used_size.store(off, std::memory_order_relaxed);
-            pmem::on_store(&s.header->used_size, 8);
+        Shard& sh = current_shard();
+        uint64_t off = static_cast<const uint8_t*>(end) - sh.main;
+        if (off > sh.hdr->used_size.load(std::memory_order_relaxed)) {
+            sh.hdr->used_size.store(off, std::memory_order_relaxed);
+            pmem::on_store(&sh.hdr->used_size, 8);
             if (tl.tx_depth > 0) {
-                s.used_pwb_pending = true;  // flushed once, at commit/abort
+                sh.used_pwb_pending = true;  // flushed once, at commit/abort
             } else {
-                pmem::pwb(&s.header->used_size);
+                pmem::pwb(&sh.hdr->used_size);
             }
         }
     }
 
     // ---------------------------------------------------------------------
     // Single-writer durable transactions (Algorithm 1) — the paper's
-    // single-threaded API (§5.1).  Not thread-safe; concurrent applications
-    // use updateTx()/readTx() below.
+    // single-threaded API (§5.1).  Not thread-safe per shard; concurrent
+    // applications use updateTx()/readTx() below.
     // ---------------------------------------------------------------------
 
-    static void begin_transaction() {
-        if (tl.tx_depth++ > 0) return;  // flat nesting
+    static void begin_transaction() { begin_transaction(0); }
+
+    static void begin_transaction(unsigned shard_id) {
+        if (tl.tx_depth++ > 0) {
+            assert(shard_id == tl.shard && "cross-shard nested transaction");
+            return;  // flat nesting
+        }
+        assert(shard_id < s.nshards);
+        tl.shard = shard_id;
+        Shard& sh = shard(shard_id);
         tx_begin_hook();
         ROMULUS_RACE_TX_BEGIN("update-tx");
         if constexpr (Traits::kUseLog) {
-            s.log.begin_tx(full_copy_threshold());
+            sh.log.begin_tx(full_copy_threshold(sh));
         }
-        store_state(MUT);
-        pmem::pwb(&s.header->state);
+        store_state(sh, MUT);
+        pmem::pwb(&sh.hdr->state);
         pmem::pfence();
     }
 
@@ -225,26 +268,27 @@ class RomulusEngine {
             --tl.tx_depth;
             return;
         }
-        if constexpr (Traits::kUseLog) flush_logged_main_lines();
-        flush_used_size();
+        Shard& sh = current_shard();
+        if constexpr (Traits::kUseLog) flush_logged_main_lines(sh);
+        flush_used_size(sh);
         pmem::pfence();
-        store_state(CPY);
-        pmem::pwb(&s.header->state);
-        pmem::psync();  // ACID durability point for main
+        store_state(sh, CPY);
+        pmem::pwb(&sh.hdr->state);
+        pmem::psync();  // ACID durability point for this shard's main
         if constexpr (Traits::kUseLR) {
             // Publish: new readers go to main while we refresh back.
-            s.lr.set_read_region(sync::LeftRight::kReadMain);
-            s.lr.toggle_version_and_wait();
+            sh.lr.set_read_region(sync::LeftRight::kReadMain);
+            sh.lr.toggle_version_and_wait();
         }
-        copy_main_to_back();
+        copy_main_to_back(sh);
         pmem::pfence();  // order back writes before the IDL state write-back
-        store_state(IDL);
-        pmem::pwb(&s.header->state);
+        store_state(sh, IDL);
+        pmem::pwb(&sh.hdr->state);
         if constexpr (Traits::kUseLR) {
             // Second toggle (§5.3): readers move to the refreshed back so
             // the next update transaction starts with main unobserved.
-            s.lr.set_read_region(sync::LeftRight::kReadBack);
-            s.lr.toggle_version_and_wait();
+            sh.lr.set_read_region(sync::LeftRight::kReadBack);
+            sh.lr.toggle_version_and_wait();
         }
         tl.tx_depth = 0;
         tx_commit_hook();
@@ -254,15 +298,16 @@ class RomulusEngine {
     /// Roll back the current transaction instead of committing it: back is
     /// still the previous consistent state, so restoring it over main undoes
     /// every in-place modification (this is exactly what crash recovery does
-    /// for a MUT-state heap).  Extension beyond the paper's API.
+    /// for a MUT-state shard).  Extension beyond the paper's API.
     static void abort_transaction() {
         assert(tl.tx_depth > 0);
         tl.tx_depth = 0;
-        copy_back_to_main();
-        flush_used_size();  // used_size is monotonic: it survives the abort
+        Shard& sh = current_shard();
+        copy_back_to_main(sh);
+        flush_used_size(sh);  // used_size is monotonic: it survives the abort
         pmem::pfence();
-        store_state(IDL);
-        pmem::pwb(&s.header->state);
+        store_state(sh, IDL);
+        pmem::pwb(&sh.hdr->state);
         pmem::psync();
         tx_abort_hook();
         ROMULUS_RACE_TX_END();
@@ -271,33 +316,43 @@ class RomulusEngine {
     static bool in_transaction() { return tl.tx_depth > 0; }
 
     // ---------------------------------------------------------------------
-    // Concurrent transactions (§5)
+    // Concurrent transactions (§5) — per shard.  Writers on different
+    // shards hold different locks and commit fully in parallel.
     // ---------------------------------------------------------------------
 
     /// Durable update transaction with starvation-free progress: announce in
-    /// the flat-combining array; the announcer that wins the writer lock
-    /// combines every announced operation into one durable transaction.
+    /// the shard's flat-combining array; the announcer that wins the shard's
+    /// writer lock combines every operation announced there into one durable
+    /// transaction.
     template <typename F>
     static void updateTx(F&& f) {
+        updateTx(tx_context_shard(), std::forward<F>(f));
+    }
+
+    template <typename F>
+    static void updateTx(unsigned shard_id, F&& f) {
         if (tl.tx_depth > 0) {  // nested: run flat inside the current tx
+            assert(shard_id == tl.shard && "cross-shard nested updateTx");
             f();
             return;
         }
+        assert(shard_id < s.nshards);
+        Shard& sh = shard(shard_id);
         const int t = sync::tid();
         sync::FlatCombiningArray::Op op{std::forward<F>(f)};
-        s.fc.announce(t, &op);
+        sh.fc.announce(t, &op);
         unsigned spins = 0;
         while (true) {
-            if (s.fc.is_done(t)) return;
-            if (try_writer_lock()) {
+            if (sh.fc.is_done(t)) return;
+            if (try_writer_lock(sh)) {
                 try {
-                    combine();
+                    combine(sh, shard_id);
                 } catch (...) {
-                    writer_unlock();
+                    writer_unlock(sh);
                     throw;
                 }
-                writer_unlock();
-                if (s.fc.is_done(t)) return;
+                writer_unlock(sh);
+                if (sh.fc.is_done(t)) return;
                 continue;  // extremely unlikely: re-announce race; retry
             }
             sync::spin_wait(spins);
@@ -305,53 +360,66 @@ class RomulusEngine {
     }
 
     /// Read-only transaction.  C-RW-WP variants block while a writer is
-    /// active; the Left-Right variant is wait-free (§5.3) and runs on the
-    /// back region whenever a writer owns main.
+    /// active on the same shard; the Left-Right variant is wait-free (§5.3)
+    /// and runs on the shard's back half whenever a writer owns its main.
     template <typename F>
     static void readTx(F&& f) {
+        readTx(tx_context_shard(), std::forward<F>(f));
+    }
+
+    template <typename F>
+    static void readTx(unsigned shard_id, F&& f) {
         // Nested inside an update tx (read main in place) or inside another
         // read tx (keep the outer region choice): run flat.
         if (tl.tx_depth > 0 || tl.read_depth > 0) {
+            assert(shard_id == tl.shard && "cross-shard nested readTx");
             f();
             return;
         }
+        assert(shard_id < s.nshards);
+        Shard& sh = shard(shard_id);
         const int t = sync::tid();
         tl.read_depth = 1;
+        tl.shard = shard_id;
         if constexpr (Traits::kUseLR) {
             // RAII so a throwing reader still departs and clears the
             // synthetic-pointer offset.
             struct Guard {
+                Shard& sh;
                 int t, vi;
                 ~Guard() {
                     ROMULUS_RACE_TX_END();
                     tl.read_offset = 0;
                     tl.read_depth = 0;
-                    s.lr.depart(t, vi);
+                    sh.lr.depart(t, vi);
                 }
-            } guard{t, s.lr.arrive(t)};
-            tl.read_offset = (s.lr.read_region() == sync::LeftRight::kReadBack)
-                                 ? s.main_size
-                                 : 0;
+            } guard{sh, t, sh.lr.arrive(t)};
+            tl.read_offset =
+                (sh.lr.read_region() == sync::LeftRight::kReadBack)
+                    ? s.main_size
+                    : 0;
             ROMULUS_RACE_TX_BEGIN(tl.read_offset != 0 ? "read-tx(back)"
                                                       : "read-tx(main)");
             f();
         } else {
             struct Guard {
+                Shard& sh;
                 int t;
                 ~Guard() {
                     ROMULUS_RACE_TX_END();
                     tl.read_depth = 0;
-                    s.rwlock.read_unlock(t);
+                    sh.rwlock.read_unlock(t);
                 }
-            } guard{t};
-            s.rwlock.read_lock(t);
+            } guard{sh, t};
+            sh.rwlock.read_lock(t);
             ROMULUS_RACE_TX_BEGIN("read-tx");
             f();
         }
     }
 
     // ---------------------------------------------------------------------
-    // Allocation (§4.4) — valid only inside a transaction.
+    // Allocation (§4.4) — valid only inside a transaction; always serves
+    // from the transaction's shard pool.
     // ---------------------------------------------------------------------
 
     template <typename T, typename... Args>
@@ -369,23 +437,36 @@ class RomulusEngine {
 
     static void* alloc_bytes(size_t n) {
         assert(tl.tx_depth > 0 && "allocation outside a transaction");
-        void* ptr = s.alloc.alloc(n);
+        void* ptr = current_shard().alloc.alloc(n);
         if (ptr == nullptr) throw std::bad_alloc();
         return ptr;
     }
 
     static void free_bytes(void* ptr) {
         assert(tl.tx_depth > 0 && "free outside a transaction");
-        if (ptr != nullptr) s.alloc.free(ptr);
+        if (ptr == nullptr) return;
+        // Cross-shard frees are an application contract violation: objects
+        // live and die in the shard whose transaction allocated them.
+        assert(owning_shard_main(ptr) == &current_shard() &&
+               "free of an object owned by another shard");
+        current_shard().alloc.free(ptr);
     }
 
     // ---------------------------------------------------------------------
-    // Root objects (§4.3: the objects array lives inside main)
+    // Root objects (§4.3: each shard has its own objects array inside its
+    // main half)
     // ---------------------------------------------------------------------
 
     template <typename T>
     static T* get_object(int idx) {
+        return get_object<T>(idx, tx_context_shard());
+    }
+
+    template <typename T>
+    static T* get_object(int idx, unsigned shard_id) {
         assert(idx >= 0 && idx < kMaxRootObjects);
+        assert(shard_id < s.nshards);
+        Shard& sh = shard(shard_id);
         if constexpr (Traits::kUseLR) {
             // A back-directed reader must read the back copy of the roots
             // array, not main's: the writer mutates main's roots mid-tx, so
@@ -393,39 +474,52 @@ class RomulusEngine {
             // exist in back yet.  back holds the previous commit's snapshot
             // (MainMeta is inside the copied range), and pload()'s value
             // shift then moves the stored main-internal pointer into back.
-            if (tl.read_offset != 0) {
+            if (tl.read_offset != 0 && shard_id == tl.shard) {
                 const auto* shifted = reinterpret_cast<const p<void*>*>(
-                    reinterpret_cast<const uint8_t*>(&s.meta->roots[idx]) +
+                    reinterpret_cast<const uint8_t*>(&sh.meta->roots[idx]) +
                     tl.read_offset);
                 return static_cast<T*>(shifted->pload());
             }
         }
-        return static_cast<T*>(s.meta->roots[idx].pload());
+        return static_cast<T*>(sh.meta->roots[idx].pload());
     }
 
-    static void put_object(int idx, void* ptr) {
+    static void put_object(int idx, void* ptr) { put_object(idx, ptr, tl.shard); }
+
+    static void put_object(int idx, void* ptr, unsigned shard_id) {
         assert(idx >= 0 && idx < kMaxRootObjects);
         assert(tl.tx_depth > 0 && "put_object outside a transaction");
-        s.meta->roots[idx] = ptr;
+        assert(shard_id == tl.shard && "put_object into another shard's roots");
+        shard(shard_id).meta->roots[idx] = ptr;
     }
 
     // ---------------------------------------------------------------------
     // Introspection (tests, benches)
     // ---------------------------------------------------------------------
 
-    static uint8_t* main_base() { return s.main; }
-    static uint8_t* back_base() { return s.back; }
-    static size_t main_size() { return s.main_size; }
-    static uint64_t used_bytes() { return s.header->used_size.load(); }
-    static TxState state() {
-        return static_cast<TxState>(s.header->state.load());
+    static unsigned shard_count() { return s.nshards; }
+    static uint8_t* main_base(unsigned shard_id = 0) {
+        return shard(shard_id).main;
     }
-    static Alloc& allocator() { return s.alloc; }
+    static uint8_t* back_base(unsigned shard_id = 0) {
+        return shard(shard_id).back;
+    }
+    static size_t main_size() { return s.main_size; }  // per shard
+    static uint64_t used_bytes(unsigned shard_id = 0) {
+        return shard(shard_id).hdr->used_size.load();
+    }
+    static TxState state(unsigned shard_id = 0) {
+        return static_cast<TxState>(shard(shard_id).hdr->state.load());
+    }
+    static Alloc& allocator(unsigned shard_id = 0) {
+        return shard(shard_id).alloc;
+    }
     static pmem::PmemRegion& region() { return s.region; }
 
     /// Flat-combining aggregation stats (§5.3: several announced updates
     /// execute inside one durable transaction, so the *average* number of
-    /// persistence fences per mutation drops below 4).
+    /// persistence fences per mutation drops below 4).  Aggregated over all
+    /// shards.
     struct CombineStats {
         uint64_t combines;
         uint64_t combined_ops;
@@ -435,55 +529,74 @@ class RomulusEngine {
         }
     };
     static CombineStats combine_stats() {
-        return {s.combines.load(), s.combined_ops.load()};
+        CombineStats out{0, 0};
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            out.combines += shard(i).combines.load();
+            out.combined_ops += shard(i).combined_ops.load();
+        }
+        return out;
     }
     static void reset_combine_stats() {
-        s.combines.store(0);
-        s.combined_ops.store(0);
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            shard(i).combines.store(0);
+            shard(i).combined_ops.store(0);
+        }
     }
 
+    /// True when `ptr` lies in any shard's main half (the current
+    /// transaction's shard is checked first).
     static bool in_main(const void* ptr) {
-        auto u = reinterpret_cast<uintptr_t>(ptr);
-        auto b = reinterpret_cast<uintptr_t>(s.main);
-        return u >= b && u < b + s.main_size;
+        return owning_shard_main(ptr) != nullptr;
     }
 
     /// Test hook: after a *simulated* in-process crash the thread survives,
     /// so its transaction-context thread-locals must be cleared the way a
     /// real restart would clear them.  (close()+init() reconstructs the
-    /// shared volatile state; this handles the thread-local part.)
+    /// shared volatile state; this handles the thread-local part, plus —
+    /// when the engine is still mapped — an in-place rebuild of every
+    /// shard's synchronisation kit.)
     static void crash_reset_for_tests() {
         tl = TlState{};
-        // A real restart reconstructs all volatile synchronisation state;
-        // rebuild it in place (no readers/writers are alive at this point).
-        new (&s.rwlock) sync::CRWWPLock();
-        new (&s.lr_writer_lock) sync::SpinLock();
-        new (&s.lr) sync::LeftRight();
-        new (&s.fc) sync::FlatCombiningArray();
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            Shard& sh = shard(i);
+            new (&sh.rwlock) sync::CRWWPLock();
+            new (&sh.lr_writer_lock) sync::SpinLock();
+            new (&sh.lr) sync::LeftRight();
+            new (&sh.fc) sync::FlatCombiningArray();
+        }
     }
 
-    /// Crash-recovery entry point (Algorithm 1, lines 17-27).  init() calls
-    /// this automatically; exposed for tests and the recovery-cost bench.
+    /// Crash-recovery entry point (Algorithm 1, lines 17-27), applied to
+    /// every shard independently: each zone is a self-contained twin-copy
+    /// heap, so one shard crashed in CPY rolls forward while another crashed
+    /// in MUT rolls back.  init() calls this automatically; exposed for
+    /// tests and the recovery-cost bench.
     static void recover() {
-        const uint32_t st = s.header->state.load();
-        if (st == MUT) {
-            copy_back_to_main();
-        } else if (st == CPY) {
-            copy_main_to_back();
-        } else if (st != IDL) {
-            throw std::runtime_error("RomulusEngine: corrupted state field");
+        bool rolled = false;
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            Shard& sh = shard(i);
+            const uint32_t st = sh.hdr->state.load();
+            if (st == MUT) {
+                copy_back_to_main(sh);
+            } else if (st == CPY) {
+                copy_main_to_back(sh);
+            } else if (st != IDL) {
+                throw std::runtime_error("RomulusEngine: corrupted state field");
+            }
+            if (st != IDL) {
+                pmem::pfence();
+                store_state(sh, IDL);
+                pmem::pwb(&sh.hdr->state);
+                rolled = true;
+            }
         }
-        if (st != IDL) {
-            pmem::pfence();
-            store_state(IDL);
-            pmem::pwb(&s.header->state);
-            pmem::psync();
-        }
+        if (rolled) pmem::psync();
     }
 
   private:
     static constexpr size_t kHeaderReserved = 4096;
-    static constexpr uint64_t kMagicBase = 0x524F4D554C555301ull;  // "ROMULUS"+layout v1
+    static constexpr size_t kShardHeaderOffset = 64;
+    static constexpr uint64_t kMagicBase = 0x524F4D554C555302ull;  // "ROMULUS"+layout v2
 
     static uint64_t magic_value() {
         // Fold the engine name so heaps are not opened by the wrong variant.
@@ -492,37 +605,62 @@ class RomulusEngine {
         return h;
     }
 
-    struct alignas(64) PHeader {
+    /// Global header page: geometry only.  Per-shard crash state lives in
+    /// the ShardHeader array that follows at kShardHeaderOffset.
+    struct PHeader {
         std::atomic<uint64_t> magic;
-        std::atomic<uint32_t> state;
-        std::atomic<uint64_t> used_size;
-        uint64_t main_size;
+        uint32_t shard_count;
+        uint64_t main_size;  ///< per-shard twin-half size
         uint64_t region_size;
     };
+    static_assert(sizeof(PHeader) <= kShardHeaderOffset,
+                  "PHeader must fit before the shard-header array");
+
+    /// One cache line per shard so two shards' state words never share a
+    /// line (their commit pwbs are concurrent).
+    struct alignas(64) ShardHeader {
+        std::atomic<uint32_t> state;
+        std::atomic<uint64_t> used_size;
+    };
+    static_assert(kShardHeaderOffset + kMaxShards * sizeof(ShardHeader) <=
+                      kHeaderReserved,
+                  "shard headers must fit in the reserved header page");
 
     struct MainMeta {
         p<void*> roots[kMaxRootObjects];
         typename Alloc::Meta alloc_meta;
     };
 
-    // All mutable engine state, grouped so the template's statics stay tidy.
-    struct State {
-        pmem::PmemRegion region;
-        PHeader* header = nullptr;
+    /// One shard = one zone's pointers + persistent header slots + its own
+    /// volatile concurrency kit.  Constructed only for active shards (the
+    /// range log alone owns ~0.2–0.8 MB of dedup table).
+    struct Shard {
+        explicit Shard(size_t log_bits) : log(log_bits) {}
+
         uint8_t* main = nullptr;
         uint8_t* back = nullptr;
-        size_t main_size = 0;
+        ShardHeader* hdr = nullptr;
         MainMeta* meta = nullptr;
         Alloc alloc;
         RangeLog log;
         sync::CRWWPLock rwlock;           // C-RW-WP variants
-        sync::SpinLock lr_writer_lock;    // LR variant (readers use s.lr)
+        sync::SpinLock lr_writer_lock;    // LR variant (readers use lr)
         sync::LeftRight lr;
         sync::FlatCombiningArray fc;
         std::atomic<uint64_t> combines{0};      // combiner invocations
         std::atomic<uint64_t> combined_ops{0};  // operations they executed
         bool used_pwb_pending = false;  // used_size grew; pwb owed at commit
+    };
+
+    // All mutable engine state, grouped so the template's statics stay tidy.
+    struct State {
+        pmem::PmemRegion region;
+        PHeader* header = nullptr;
+        pmem::ShardLayout layout;
+        unsigned nshards = 0;
+        size_t main_size = 0;
         bool initialized = false;
+        alignas(Shard) unsigned char shard_mem[kMaxShards][sizeof(Shard)];
     };
     static inline State s{};
 
@@ -530,36 +668,104 @@ class RomulusEngine {
         int tx_depth = 0;
         int read_depth = 0;
         size_t read_offset = 0;
+        unsigned shard = 0;  ///< shard of the open tx / read tx
     };
     static inline thread_local TlState tl{};
 
-    static uint8_t* pool_base() {
+    static Shard& shard(unsigned i) {
+        assert(i < s.nshards);
+        return *reinterpret_cast<Shard*>(s.shard_mem[i]);
+    }
+
+    static Shard& current_shard() { return shard(tl.shard); }
+
+    /// Default shard for the shard-less API: inside a transaction, the
+    /// transaction's shard (so nested calls from data structures stay in
+    /// their shard); outside, shard 0 — the classic single-shard behaviour.
+    static unsigned tx_context_shard() {
+        return (tl.tx_depth > 0 || tl.read_depth > 0) ? tl.shard : 0;
+    }
+
+    static ShardHeader* shard_headers() {
+        return reinterpret_cast<ShardHeader*>(s.region.base() +
+                                              kShardHeaderOffset);
+    }
+
+    static void build_shards() {
+        const size_t bits = RangeLog::suggested_table_bits(s.nshards);
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            Shard* sh = new (s.shard_mem[i]) Shard(bits);
+            sh->main = s.region.base() + s.layout.main_offset(i);
+            sh->back = s.region.base() + s.layout.back_offset(i);
+            sh->hdr = shard_headers() + i;
+            sh->meta = reinterpret_cast<MainMeta*>(sh->main);
+        }
+    }
+
+    static void teardown_shards() {
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            Shard& sh = shard(i);
+            ROMULUS_RACE_UNREGISTER_REGION(sh.main);
+            ROMULUS_RACE_UNREGISTER_REGION(sh.back);
+            sh.~Shard();
+        }
+        s.nshards = 0;
+    }
+
+    static bool in_shard_main(const Shard& sh, const void* ptr) {
+        auto u = reinterpret_cast<uintptr_t>(ptr);
+        auto b = reinterpret_cast<uintptr_t>(sh.main);
+        return u >= b && u < b + s.main_size;
+    }
+
+    /// The shard whose main half contains `ptr`, or nullptr.  Fast path:
+    /// the current transaction's shard (two compares); otherwise one divide
+    /// by the zone stride.
+    static Shard* owning_shard_main(const void* ptr) {
+        const unsigned n = s.nshards;
+        if (n == 0) return nullptr;
+        Shard& cur = shard(tl.shard < n ? tl.shard : 0);
+        if (in_shard_main(cur, ptr)) return &cur;
+        if (n == 1) return nullptr;
+        const uint8_t* zones = s.region.base() + kHeaderReserved;
+        const uint8_t* u = static_cast<const uint8_t*>(ptr);
+        if (u < zones) return nullptr;
+        const size_t zi = size_t(u - zones) / s.layout.zone_stride();
+        if (zi >= n) return nullptr;
+        Shard& sh = shard(static_cast<unsigned>(zi));
+        return in_shard_main(sh, ptr) ? &sh : nullptr;
+    }
+
+    static uint8_t* pool_base(Shard& sh) {
         size_t meta_end = (sizeof(MainMeta) + 63) & ~size_t{63};
-        return s.main + meta_end;
+        return sh.main + meta_end;
     }
-    static size_t pool_size() { return s.main_size - (pool_base() - s.main); }
-
-    static uint64_t main_offset(const void* ptr) {
-        return static_cast<const uint8_t*>(ptr) - s.main;
+    static size_t pool_size(Shard& sh) {
+        return s.main_size - (pool_base(sh) - sh.main);
     }
 
-    static size_t full_copy_threshold() {
+    static uint64_t main_offset(const Shard& sh, const void* ptr) {
+        return static_cast<const uint8_t*>(ptr) - sh.main;
+    }
+
+    static size_t full_copy_threshold(const Shard& sh) {
         // Beyond half the used bytes, per-line copying loses to one memcpy.
-        return static_cast<size_t>(s.header->used_size.load() / 2);
+        return static_cast<size_t>(sh.hdr->used_size.load() / 2);
     }
 
-    static void store_state(uint32_t st) {
-        s.header->state.store(st, std::memory_order_relaxed);
-        pmem::on_store(&s.header->state, sizeof(uint32_t));
+    static void store_state(Shard& sh, uint32_t st) {
+        sh.hdr->state.store(st, std::memory_order_relaxed);
+        pmem::on_store(&sh.hdr->state, sizeof(uint32_t));
         pmem::notify_state_transition(st);
     }
 
     static void range_written(void* dst, size_t n) {
-        if (!in_main(dst)) return;
+        Shard* sh = owning_shard_main(dst);
+        if (sh == nullptr) return;
         pmem::on_store(dst, n);
         if constexpr (Traits::kUseLog) {
-            if (tl.tx_depth > 0) {
-                s.log.add(main_offset(dst), n);
+            if (tl.tx_depth > 0 && sh == &shard(tl.shard)) {
+                sh->log.add(main_offset(*sh, dst), n);
                 pmem::notify_range_logged(dst, n);
                 return;
             }
@@ -567,124 +773,135 @@ class RomulusEngine {
         pmem::pwb_range(dst, n);
     }
 
-    /// Write back the used_size header word if a transaction grew it
+    /// Write back the shard's used_size header word if a transaction grew it
     /// (note_used defers the pwb here so it is paid once per transaction).
-    static void flush_used_size() {
-        if (!s.used_pwb_pending) return;
-        s.used_pwb_pending = false;
-        pmem::pwb(&s.header->used_size);
+    static void flush_used_size(Shard& sh) {
+        if (!sh.used_pwb_pending) return;
+        sh.used_pwb_pending = false;
+        pmem::pwb(&sh.hdr->used_size);
     }
 
-    static void flush_logged_main_lines() {
-        if (s.log.full_copy()) {
-            pmem::pwb_range(s.main, s.header->used_size.load());
+    static void flush_logged_main_lines(Shard& sh) {
+        if (sh.log.full_copy()) {
+            pmem::pwb_range(sh.main, sh.hdr->used_size.load());
             return;
         }
         if (pmem::commit_config().coalesce) {
             // One sorted/coalesced pass, shared with copy_main_to_back():
             // each maximal run costs one ranged flush instead of one
             // dispatched pwb per 64 B entry.
-            const auto& runs = s.log.merged_runs();
+            const auto& runs = sh.log.merged_runs();
             auto& cs = pmem::tl_commit_stats();
             cs.commits++;
             cs.runs += runs.size();
-            cs.lines_logged += s.log.entries().size();
-            for (const auto& r : runs) pmem::pwb_range(s.main + r.off, r.len);
+            cs.lines_logged += sh.log.entries().size();
+            for (const auto& r : runs) pmem::pwb_range(sh.main + r.off, r.len);
         } else {
-            for (const auto& e : s.log.entries())
-                pmem::pwb_range(s.main + e.off, e.len);
+            for (const auto& e : sh.log.entries())
+                pmem::pwb_range(sh.main + e.off, e.len);
         }
     }
 
-    static void copy_range_to_back(uint64_t off, size_t len) {
-        const uint64_t used = s.header->used_size.load();
+    static void copy_range_to_back(Shard& sh, uint64_t off, size_t len) {
+        const uint64_t used = sh.hdr->used_size.load();
         if (off >= used) return;
         if (off + len > used) len = used - off;
-        pmem::persist_copy(s.back + off, s.main + off, len);
+        pmem::persist_copy(sh.back + off, sh.main + off, len);
     }
 
-    static void copy_main_to_back() {
+    static void copy_main_to_back(Shard& sh) {
         if constexpr (Traits::kUseLog) {
-            if (tl.tx_depth == 0 || s.log.full_copy()) {
-                copy_range_to_back(0, s.header->used_size.load());
+            if (tl.tx_depth == 0 || sh.log.full_copy()) {
+                copy_range_to_back(sh, 0, sh.hdr->used_size.load());
             } else if (pmem::commit_config().coalesce) {
-                for (const auto& r : s.log.merged_runs())
-                    copy_range_to_back(r.off, r.len);
+                for (const auto& r : sh.log.merged_runs())
+                    copy_range_to_back(sh, r.off, r.len);
             } else {
-                for (const auto& e : s.log.entries())
-                    copy_range_to_back(e.off, e.len);
+                for (const auto& e : sh.log.entries())
+                    copy_range_to_back(sh, e.off, e.len);
             }
         } else {
-            copy_range_to_back(0, s.header->used_size.load());
+            copy_range_to_back(sh, 0, sh.hdr->used_size.load());
         }
     }
 
-    static void copy_back_to_main() {
-        const uint64_t used = s.header->used_size.load();
-        pmem::persist_copy(s.main, s.back, used);
+    static void copy_back_to_main(Shard& sh) {
+        const uint64_t used = sh.hdr->used_size.load();
+        pmem::persist_copy(sh.main, sh.back, used);
     }
 
     static void format() {
-        tl.tx_depth = 1;  // interposition active, log in full-copy mode
-        if constexpr (Traits::kUseLog) s.log.begin_tx(0);
-
         s.header->magic.store(0);
         pmem::on_store(&s.header->magic, 8);
         pmem::pwb(&s.header->magic);
         pmem::pfence();  // invalidate before rewriting the layout
 
-        s.header->state.store(IDL);
+        s.header->shard_count = s.nshards;
         s.header->main_size = s.main_size;
         s.header->region_size = s.region.size();
-        size_t meta_end = (sizeof(MainMeta) + 63) & ~size_t{63};
-        s.header->used_size.store(meta_end);
         pmem::on_store(s.header, sizeof(PHeader));
         pmem::pwb_range(s.header, sizeof(PHeader));
 
-        new (s.meta) MainMeta;  // persist<> members are uninitialised raw pods
-        for (int i = 0; i < kMaxRootObjects; ++i) s.meta->roots[i] = nullptr;
-        s.alloc.format(&s.meta->alloc_meta, pool_base(), pool_size());
-        pmem::pwb_range(s.main, meta_end);
-        pmem::pfence();
+        const size_t meta_end = (sizeof(MainMeta) + 63) & ~size_t{63};
+        for (unsigned i = 0; i < s.nshards; ++i) {
+            Shard& sh = shard(i);
+            tl.shard = i;
+            tl.tx_depth = 1;  // interposition active, log in full-copy mode
+            if constexpr (Traits::kUseLog) sh.log.begin_tx(0);
 
-        copy_range_to_back(0, meta_end);
-        pmem::pfence();
+            sh.hdr->state.store(IDL);
+            sh.hdr->used_size.store(meta_end);
+            pmem::on_store(sh.hdr, sizeof(ShardHeader));
+            pmem::pwb_range(sh.hdr, sizeof(ShardHeader));
+
+            new (sh.meta) MainMeta;  // persist<> members are raw pods
+            for (int r = 0; r < kMaxRootObjects; ++r) sh.meta->roots[r] = nullptr;
+            sh.alloc.format(&sh.meta->alloc_meta, pool_base(sh), pool_size(sh));
+            sh.used_pwb_pending = false;  // used_size is flushed just below
+            pmem::pwb_range(sh.main, meta_end);
+            pmem::pwb(&sh.hdr->used_size);
+            pmem::pfence();
+
+            copy_range_to_back(sh, 0, meta_end);
+            pmem::pfence();
+            tl.tx_depth = 0;
+        }
+        tl.shard = 0;
 
         s.header->magic.store(magic_value());
         pmem::on_store(&s.header->magic, 8);
         pmem::pwb(&s.header->magic);
         pmem::psync();
-        tl.tx_depth = 0;
     }
 
     // --- combiner ----------------------------------------------------------
 
-    static bool try_writer_lock() {
+    static bool try_writer_lock(Shard& sh) {
         if constexpr (Traits::kUseLR) {
-            return s.lr_writer_lock.try_lock();
+            return sh.lr_writer_lock.try_lock();
         } else {
-            return s.rwlock.try_write_lock();
+            return sh.rwlock.try_write_lock();
         }
     }
 
-    static void writer_unlock() {
+    static void writer_unlock(Shard& sh) {
         if constexpr (Traits::kUseLR) {
-            s.lr_writer_lock.unlock();
+            sh.lr_writer_lock.unlock();
         } else {
-            s.rwlock.write_unlock();
+            sh.rwlock.write_unlock();
         }
     }
 
-    /// Execute every announced operation inside one durable transaction.
-    /// Slots are cleared only after end_transaction(), i.e. after the psync
-    /// that makes the whole batch durable — an announcer that returns has a
-    /// durable, visible operation (§5.2).
-    static void combine() {
-        begin_transaction();
+    /// Execute every operation announced on this shard inside one durable
+    /// transaction.  Slots are cleared only after end_transaction(), i.e.
+    /// after the psync that makes the whole batch durable — an announcer
+    /// that returns has a durable, visible operation (§5.2).
+    static void combine(Shard& sh, unsigned shard_id) {
+        begin_transaction(shard_id);
         int done[sync::kMaxThreads];
         int n = 0;
         try {
-            s.fc.for_each_announced(
+            sh.fc.for_each_announced(
                 [&](int slot, sync::FlatCombiningArray::Op* op) {
                     (*op)();
                     done[n++] = slot;
@@ -696,13 +913,13 @@ class RomulusEngine {
             // scanned (their effects are undone with the batch), and
             // propagate in the combiner's thread.
             abort_transaction();
-            for (int i = 0; i < n; ++i) s.fc.mark_done(done[i]);
+            for (int i = 0; i < n; ++i) sh.fc.mark_done(done[i]);
             throw;
         }
         end_transaction();
-        for (int i = 0; i < n; ++i) s.fc.mark_done(done[i]);
-        s.combines.fetch_add(1, std::memory_order_relaxed);
-        s.combined_ops.fetch_add(uint64_t(n), std::memory_order_relaxed);
+        for (int i = 0; i < n; ++i) sh.fc.mark_done(done[i]);
+        sh.combines.fetch_add(1, std::memory_order_relaxed);
+        sh.combined_ops.fetch_add(uint64_t(n), std::memory_order_relaxed);
     }
 };
 

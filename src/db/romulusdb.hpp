@@ -1,18 +1,32 @@
 // RomulusDB (§6.4): the paper's persistent key-value store — KVStore wrapped
-// over RomulusLog with a LevelDB-flavoured open/close lifecycle.
+// over RomulusLog with a LevelDB-flavoured open/close lifecycle, extended
+// with intra-heap sharding: keys hash-route to one ShardedKVStore slice per
+// engine shard, so concurrent writers on different shards commit in
+// parallel (S=1, the default, is exactly the paper's store).
 //
 // "We used RomulusLog to wrap a hash map and implement the same interface as
 // the popular LevelDB database."  Every update is a durable transaction; the
 // WriteOptions::sync flag LevelDB needs for durability is therefore
 // meaningless here (accepted for API compatibility, always behaves as true).
+//
+// Lifecycle: exactly one RomulusDB may be open per process (RomulusLog is a
+// process-wide engine); a second open() throws instead of silently sharing —
+// and later closing — the first instance's engine.  The destructor closes
+// the engine only when this instance's open() initialized it (owns-engine),
+// so opening against an externally initialized engine no longer tears the
+// engine down on destruction.
 #pragma once
 
+#include <sys/stat.h>
+
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/romulus.hpp"
-#include "db/kvstore.hpp"
+#include "db/sharded_kvstore.hpp"
 
 namespace romulus::db {
 
@@ -22,29 +36,49 @@ struct WriteOptions {
 
 class RomulusDB {
   public:
-    using Store = KVStore<RomulusLog>;
-    static constexpr int kRootIdx = 63;  // reserved root slot for the store
+    using Store = ShardedKVStore<RomulusLog>;
+    static constexpr int kRootIdx = 63;  // reserved root slot in every shard
 
     /// Open (and create if needed) the database backed by `heap_file`.
-    /// Exactly one RomulusDB may be open per process (RomulusLog is a
-    /// process-wide engine).
+    /// `shards` selects the intra-heap shard count for a freshly created
+    /// heap (0: engine default); an existing heap keeps its stored count.
+    /// Throws std::runtime_error if a RomulusDB is already open.
     static std::unique_ptr<RomulusDB> open(const std::string& heap_file,
-                                           size_t heap_bytes = 0) {
-        if (!RomulusLog::initialized()) RomulusLog::init(heap_bytes, heap_file);
+                                           size_t heap_bytes = 0,
+                                           unsigned shards = 0) {
+        bool expected = false;
+        if (!open_flag().compare_exchange_strong(expected, true))
+            throw std::runtime_error(
+                "RomulusDB: already open in this process — close the "
+                "existing instance before opening another");
+        // From here the instance owns the open flag; its destructor clears
+        // it (including on a throw below, via unique_ptr unwinding).
         auto db = std::unique_ptr<RomulusDB>(new RomulusDB());
-        db->store_ = RomulusLog::get_object<Store>(kRootIdx);
-        if (db->store_ == nullptr) {
-            RomulusLog::updateTx([&] {
-                db->store_ = RomulusLog::tmNew<Store>();
-                RomulusLog::put_object(kRootIdx, db->store_);
-            });
+        if (!RomulusLog::initialized()) {
+            // LevelDB-style reopen: with no explicit size, an existing heap
+            // is mapped at its own size (a default-sized map over a smaller
+            // heap would fail validation and reformat it).
+            size_t bytes = heap_bytes;
+            struct ::stat st{};
+            if (bytes == 0 && ::stat(heap_file.c_str(), &st) == 0)
+                bytes = static_cast<size_t>(st.st_size);
+            RomulusLog::init(bytes, heap_file, shards);
+            db->owns_engine_ = true;
         }
+        db->store_.emplace(kRootIdx);
         return db;
     }
 
     ~RomulusDB() {
-        if (RomulusLog::initialized()) RomulusLog::close();
+        store_.reset();
+        if (owns_engine_ && RomulusLog::initialized()) RomulusLog::close();
+        open_flag().store(false);
     }
+
+    /// True when this instance initialized (and will close) the engine.
+    bool owns_engine() const { return owns_engine_; }
+
+    unsigned shards() const { return store_->shards(); }
 
     void put(const WriteOptions&, std::string_view key, std::string_view value) {
         store_->put(key, value);
@@ -55,6 +89,8 @@ class RomulusDB {
     bool del(const WriteOptions&, std::string_view key) {
         return store_->del(key);
     }
+    /// Cross-shard batches commit shard-by-shard in ascending shard order —
+    /// atomic per shard, not globally (see ShardedKVStore).
     void write(const WriteOptions&, const WriteBatch& batch) {
         store_->write(batch);
     }
@@ -71,7 +107,14 @@ class RomulusDB {
 
   private:
     RomulusDB() = default;
-    Store* store_ = nullptr;
+
+    static std::atomic<bool>& open_flag() {
+        static std::atomic<bool> flag{false};
+        return flag;
+    }
+
+    std::optional<Store> store_;
+    bool owns_engine_ = false;
 };
 
 }  // namespace romulus::db

@@ -139,6 +139,20 @@ class PersistencyChecker final : public SimHooks {
         return l;
     }
 
+    /// Like layout_of(), but main/back point at one shard's zone of a
+    /// sharded engine: the transition checks then enforce the discipline for
+    /// that shard's twin halves.  Valid for *serialised* workloads (the
+    /// checker's standing assumption) — when transactions never overlap,
+    /// every other shard's lines are clean at each observed transition, so
+    /// any shard may be singled out.
+    template <typename Engine>
+    static Layout layout_of_shard(unsigned shard) {
+        Layout l = layout_of<Engine>();
+        l.main = Engine::main_base(shard);
+        l.back = Engine::back_base(shard);
+        return l;
+    }
+
     // SimHooks
     void on_store(const void* addr, size_t len) override;
     void on_pwb(const void* addr) override;

@@ -12,6 +12,24 @@
 
 namespace romulus::pmem {
 
+ShardLayout ShardLayout::compute(size_t region_size, unsigned shards,
+                                 size_t header_reserved) {
+    if (shards == 0) throw std::invalid_argument("ShardLayout: zero shards");
+    if (region_size <= header_reserved)
+        throw std::invalid_argument("ShardLayout: region smaller than header");
+    ShardLayout l;
+    l.header_reserved = header_reserved;
+    l.shards = shards;
+    l.main_size = ((region_size - header_reserved) / shards / 2) & ~size_t{63};
+    // Every shard needs room for its root table + allocator metadata (~1 KiB)
+    // plus a usable pool; 64 KiB is a generous floor that catches accidental
+    // tiny-heap/many-shard combinations early with a clear error.
+    if (l.main_size < 64 * 1024)
+        throw std::invalid_argument(
+            "ShardLayout: heap too small for the requested shard count");
+    return l;
+}
+
 std::string default_pmem_dir() {
     if (const char* d = std::getenv("ROMULUS_PMEM_DIR")) return d;
     return "/dev/shm";

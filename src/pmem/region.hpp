@@ -50,6 +50,32 @@ class PmemRegion {
     std::string path_;
 };
 
+/// Zone layout of a sharded twin-copy heap:
+///
+///   [ header | zone 0 | zone 1 | ... | zone S-1 ]
+///
+/// where zone s = [ main_s | back_s ] — each shard owns a contiguous pair of
+/// twin halves of `main_size` bytes.  The classic single-shard Romulus layout
+/// (Figure 2: [header|main|back]) is exactly the S=1 case.
+struct ShardLayout {
+    size_t header_reserved = 0;  ///< bytes before zone 0
+    unsigned shards = 1;
+    size_t main_size = 0;  ///< per-shard twin-half size (64-byte multiple)
+
+    size_t zone_stride() const { return 2 * main_size; }
+    size_t zone_offset(unsigned s) const {
+        return header_reserved + size_t(s) * zone_stride();
+    }
+    size_t main_offset(unsigned s) const { return zone_offset(s); }
+    size_t back_offset(unsigned s) const { return zone_offset(s) + main_size; }
+
+    /// Carve `region_size` bytes into `shards` equal twin zones after the
+    /// header.  Throws std::invalid_argument when the region is too small to
+    /// give every shard a usable pool.
+    static ShardLayout compute(size_t region_size, unsigned shards,
+                               size_t header_reserved);
+};
+
 /// Default directory for persistent heap files ("/dev/shm" unless the
 /// ROMULUS_PMEM_DIR environment variable overrides it).
 std::string default_pmem_dir();

@@ -66,8 +66,11 @@ class CRWWPLock {
 
   private:
     void wait_readers() {
+        // Resumable drain: writer_present_ is already published, so a slot
+        // seen empty stays effectively empty (later arrivals depart again
+        // without reading) — spin only on the first still-busy slot onward.
         unsigned spins = 0;
-        while (!ri_.is_empty()) spin_wait(spins);
+        for (int i = 0; (i = ri_.first_busy(i)) >= 0;) spin_wait(spins);
         // The writer barrier: every departed reader released into ri_, so
         // this acquire inherits all of their reads before the writer
         // mutates.  Eliding this drain is the seeded bug of the

@@ -60,12 +60,16 @@ class LeftRight {
     void toggle_version_and_wait() {
         const int prev = version_index_.load(std::memory_order_seq_cst);
         const int next = 1 - prev;
+        // Both drains resume from the first busy slot (see
+        // ReadIndicator::first_busy): a stale arrival on an already-scanned
+        // slot reads through read_region_, which the writer has already
+        // published, so it never needs to be waited for.
         unsigned spins = 0;
-        while (!ri_[next].is_empty()) spin_wait(spins);
+        for (int i = 0; (i = ri_[next].first_busy(i)) >= 0;) spin_wait(spins);
         ROMULUS_RACE_ACQUIRE(&ri_[next], "lr.drain");
         version_index_.store(next, std::memory_order_seq_cst);
         spins = 0;
-        while (!ri_[prev].is_empty()) spin_wait(spins);
+        for (int i = 0; (i = ri_[prev].first_busy(i)) >= 0;) spin_wait(spins);
         // Draining both indicators inherits every departed reader's clock,
         // so the writer's subsequent mutations cannot race with them.
         // Skipping the toggle (the LeftRightNoToggle fixture's seeded bug)

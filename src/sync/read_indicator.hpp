@@ -31,14 +31,22 @@ class ReadIndicator {
         slots_[t].count.fetch_sub(1, std::memory_order_release);
     }
 
-    bool is_empty() const {
+    /// Index of the first busy slot at or after `from`, or -1 when every
+    /// slot in [from, max_tids()) is empty.  Writers drain with a resumable
+    /// scan: once the writer's presence is published, a slot observed empty
+    /// can only be re-entered by a reader that will see the writer and step
+    /// aside, so the drain never needs to rescan [0, from) — each spin
+    /// iteration costs O(remaining readers) instead of O(max_tids).
+    int first_busy(int from = 0) const {
         const int n = max_tids();
-        for (int i = 0; i < n; ++i) {
+        for (int i = from; i < n; ++i) {
             if (slots_[i].count.load(std::memory_order_acquire) != 0)
-                return false;
+                return i;
         }
-        return true;
+        return -1;
     }
+
+    bool is_empty() const { return first_busy(0) < 0; }
 
   private:
     struct alignas(128) Slot {  // two cache lines per entry

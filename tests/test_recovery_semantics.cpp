@@ -69,8 +69,10 @@ TYPED_TEST(RecoverySemantics, CpyStateRecoversFromMain) {
     // Now main == back == 777.  Make back stale and state CPY: that is
     // byte-wise exactly the crashed-in-CPY picture.
     std::memset(E::back_base(), 0xCD, 64);  // corrupt back's first line
+    // Shard 0's state word lives at the head of the first ShardHeader cache
+    // line (header layout v2: geometry line, then one line per shard).
     auto* state_addr = reinterpret_cast<std::atomic<uint32_t>*>(
-        E::region().base() + 8);
+        E::region().base() + 64);
     state_addr->store(CPY);
     E::crash_reset_for_tests();
     E::recover();

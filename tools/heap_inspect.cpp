@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -23,14 +24,22 @@ using namespace romulus;
 
 namespace {
 
-// Raw header mirror (matches RomulusEngine<...>::PHeader's layout).
+// Raw header mirror (matches RomulusEngine<...>::PHeader's layout v2:
+// geometry in the first cache line, one ShardHeader cache line per shard
+// starting at byte 64).
 struct RawHeader {
     uint64_t magic;
-    uint32_t state;
-    uint64_t used_size;
+    uint32_t shard_count;
     uint64_t main_size;
     uint64_t region_size;
 };
+struct RawShardHeader {
+    uint32_t state;
+    uint64_t used_size;
+};
+constexpr size_t kShardHeaderOffset = 64;
+constexpr size_t kShardHeaderStride = 64;
+constexpr unsigned kSaneShardCap = 32;  // mirrors romulus::kMaxShards
 
 const char* state_name(uint32_t s) {
     switch (s) {
@@ -43,6 +52,15 @@ const char* state_name(uint32_t s) {
     return "CORRUPT";
 }
 
+/// Decode one shard header out of the raw header page.
+RawShardHeader read_shard_header(const uint8_t* page, unsigned s) {
+    RawShardHeader sh{};
+    const uint8_t* at = page + kShardHeaderOffset + s * kShardHeaderStride;
+    std::memcpy(&sh.state, at + 0, 4);
+    std::memcpy(&sh.used_size, at + 8, 8);
+    return sh;
+}
+
 int inspect_raw(const std::string& path) {
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
@@ -50,29 +68,36 @@ int inspect_raw(const std::string& path) {
         return 1;
     }
     RawHeader h{};
-    // The on-disk header begins with magic (8B aligned), then state,
-    // used_size, main_size, region_size — read the first 64 B and decode.
-    uint8_t buf[64];
-    if (::read(fd, buf, sizeof buf) != sizeof buf) {
+    // The on-disk header page: magic / shard_count / main_size / region_size
+    // in the first cache line, then one 64 B ShardHeader per shard.
+    uint8_t page[4096];
+    if (::read(fd, page, sizeof page) != static_cast<ssize_t>(sizeof page)) {
         std::fprintf(stderr, "short read\n");
         ::close(fd);
         return 1;
     }
     ::close(fd);
-    std::memcpy(&h.magic, buf + 0, 8);
-    std::memcpy(&h.state, buf + 8, 4);
-    std::memcpy(&h.used_size, buf + 16, 8);
-    std::memcpy(&h.main_size, buf + 24, 8);
-    std::memcpy(&h.region_size, buf + 32, 8);
+    std::memcpy(&h.magic, page + 0, 8);
+    std::memcpy(&h.shard_count, page + 8, 4);
+    std::memcpy(&h.main_size, page + 16, 8);
+    std::memcpy(&h.region_size, page + 24, 8);
 
     std::printf("raw header of %s:\n", path.c_str());
     std::printf("  magic       : 0x%016llx\n", (unsigned long long)h.magic);
-    std::printf("  state       : %u — %s\n", h.state, state_name(h.state));
-    std::printf("  used bytes  : %llu (%.2f MB)\n",
-                (unsigned long long)h.used_size,
-                double(h.used_size) / (1 << 20));
-    std::printf("  main size   : %llu\n", (unsigned long long)h.main_size);
+    std::printf("  shards      : %u\n", h.shard_count);
+    std::printf("  main size   : %llu (per shard)\n",
+                (unsigned long long)h.main_size);
     std::printf("  region size : %llu\n", (unsigned long long)h.region_size);
+    const unsigned n =
+        h.shard_count >= 1 && h.shard_count <= kSaneShardCap ? h.shard_count : 0;
+    if (n == 0) std::printf("  (shard count implausible: header corrupt?)\n");
+    for (unsigned s = 0; s < n; ++s) {
+        RawShardHeader sh = read_shard_header(page, s);
+        std::printf("  shard %-2u    : state %u — %s; used %llu (%.2f MB)\n", s,
+                    sh.state, state_name(sh.state),
+                    (unsigned long long)sh.used_size,
+                    double(sh.used_size) / (1 << 20));
+    }
     return 0;
 }
 
@@ -83,48 +108,65 @@ int inspect_engine(const std::string& path) {
         std::fprintf(stderr, "cannot stat %s\n", path.c_str());
         return 1;
     }
+    // Worst pre-attach disposition across shards (any non-IDL shard means
+    // attach will run a recovery roll for it).
     const uint32_t pre_state = [&] {
-        RawHeader h{};
+        uint32_t worst = 0;
         int fd = ::open(path.c_str(), O_RDONLY);
-        uint8_t buf[64];
-        if (fd >= 0 && ::read(fd, buf, sizeof buf) == sizeof buf)
-            std::memcpy(&h.state, buf + 8, 4);
+        uint8_t page[4096];
+        if (fd >= 0 && ::read(fd, page, sizeof page) ==
+                           static_cast<ssize_t>(sizeof page)) {
+            uint32_t nshards = 0;
+            std::memcpy(&nshards, page + 8, 4);
+            if (nshards < 1 || nshards > kSaneShardCap) nshards = 1;
+            for (unsigned s = 0; s < nshards; ++s)
+                worst = std::max(worst, read_shard_header(page, s).state);
+        }
         if (fd >= 0) ::close(fd);
-        return h.state;
+        return worst;
     }();
 
     E::init(static_cast<size_t>(st.st_size), path);
     std::printf("engine      : %s\n", E::name());
-    std::printf("pre-attach  : %s\n", state_name(pre_state));
-    std::printf("post-attach : %s (recovery %s)\n", state_name(E::state()),
-                pre_state == 0 ? "not needed" : "completed");
-    std::printf("used bytes  : %llu / %zu main\n",
-                (unsigned long long)E::used_bytes(), E::main_size());
+    std::printf("shards      : %u\n", E::shard_count());
+    std::printf("pre-attach  : worst shard %s\n", state_name(pre_state));
+    bool all_consistent = true;
+    for (unsigned sd = 0; sd < E::shard_count(); ++sd) {
+        std::printf("-- shard %u --\n", sd);
+        std::printf("post-attach : %s (recovery %s)\n",
+                    state_name(E::state(sd)),
+                    pre_state == 0 ? "not needed" : "completed");
+        std::printf("used bytes  : %llu / %zu main\n",
+                    (unsigned long long)E::used_bytes(sd), E::main_size());
 
-    auto& alloc = E::allocator();
-    std::printf("allocator   : %llu live allocations, %llu live bytes, "
-                "wilderness at %llu\n",
-                (unsigned long long)alloc.alloc_count(),
-                (unsigned long long)alloc.allocated_bytes(),
-                (unsigned long long)alloc.wilderness_offset());
-    const size_t chunks = alloc.check_consistency();
-    std::printf("heap walk   : %s (%zu chunks)\n",
-                chunks > 0 ? "CONSISTENT" : "CORRUPT", chunks);
+        auto& alloc = E::allocator(sd);
+        std::printf("allocator   : %llu live allocations, %llu live bytes, "
+                    "wilderness at %llu\n",
+                    (unsigned long long)alloc.alloc_count(),
+                    (unsigned long long)alloc.allocated_bytes(),
+                    (unsigned long long)alloc.wilderness_offset());
+        const size_t chunks = alloc.check_consistency();
+        std::printf("heap walk   : %s (%zu chunks)\n",
+                    chunks > 0 ? "CONSISTENT" : "CORRUPT", chunks);
 
-    int roots = 0;
-    for (int i = 0; i < kMaxRootObjects; ++i)
-        if (E::template get_object<void>(i) != nullptr) {
-            std::printf("root[%2d]    : %p\n", i, E::template get_object<void>(i));
-            ++roots;
-        }
-    if (roots == 0) std::printf("roots       : (none set)\n");
+        int roots = 0;
+        for (int i = 0; i < kMaxRootObjects; ++i)
+            if (E::template get_object<void>(i, sd) != nullptr) {
+                std::printf("root[%2d]    : %p\n", i,
+                            E::template get_object<void>(i, sd));
+                ++roots;
+            }
+        if (roots == 0) std::printf("roots       : (none set)\n");
 
-    const bool twins_equal =
-        std::memcmp(E::main_base(), E::back_base(), E::used_bytes()) == 0;
-    std::printf("twin copies : %s\n",
-                twins_equal ? "byte-identical" : "DIVERGED (BUG)");
+        const bool twins_equal =
+            std::memcmp(E::main_base(sd), E::back_base(sd),
+                        E::used_bytes(sd)) == 0;
+        std::printf("twin copies : %s\n",
+                    twins_equal ? "byte-identical" : "DIVERGED (BUG)");
+        all_consistent = all_consistent && chunks > 0 && twins_equal;
+    }
     E::close();
-    return chunks > 0 && twins_equal ? 0 : 2;
+    return all_consistent ? 0 : 2;
 }
 
 }  // namespace
