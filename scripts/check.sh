@@ -10,6 +10,11 @@
 #   tsan      TSan build (ROMULUS_TSAN=ON) + targeted concurrency tests
 #   race      romrace build (ROMULUS_RACECHECK=ON) + full ctest, including
 #             the positive-detection fixtures and the armed clean-suite run
+#   persistgraph  romver build (ROMULUS_PERSISTGRAPH=ON) + full ctest
+#             (including the seeded protocol-mutation fixtures), then the
+#             romver CLI end to end: clean run over all five engines plus
+#             both mutations under --expect-violations; reports land in
+#             build/check/persistgraph/romver-reports/
 #
 # Each leg uses its own build directory (build/check/<leg>) so the matrix
 # never dirties the developer's ./build tree — and everything it writes
@@ -21,7 +26,7 @@ cd "$(dirname "$0")/.."
 NPROC=$(nproc 2>/dev/null || echo 4)
 CHECK_ROOT="build/check"
 LEGS=("$@")
-[ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan race)
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan race persistgraph)
 
 configure_build() { # <dir> <cmake-flags...>
     local dir=$1
@@ -73,8 +78,24 @@ run_leg() {
         configure_build "$dir" -DROMULUS_RACECHECK=ON
         (cd "$dir" && ctest --output-on-failure)
         ;;
+    persistgraph)
+        # romver leg: persist-order graph capture + the seeded protocol
+        # mutations (docs/romver.md).  The fixtures prove the rules detect
+        # the bugs they claim to; the clean CLI run proves the real commit
+        # paths satisfy them; the reports are what CI uploads as artifacts.
+        configure_build "$dir" -DROMULUS_PERSISTGRAPH=ON
+        (cd "$dir" && ctest --output-on-failure)
+        local reports="$dir/romver-reports"
+        mkdir -p "$reports"
+        "$dir/tools/romver" --engine all --budget 2048 \
+            --report "$reports/clean.txt"
+        "$dir/tools/romver" --mutate elide-fence --expect-violations \
+            --report "$reports/mutate-elide-fence.txt"
+        "$dir/tools/romver" --mutate reorder-state --expect-violations \
+            --report "$reports/mutate-reorder-state.txt"
+        ;;
     *)
-        echo "unknown leg: $leg (default|werror|asan|tsan|race)" >&2
+        echo "unknown leg: $leg (default|werror|asan|tsan|race|persistgraph)" >&2
         return 2
         ;;
     esac

@@ -1,0 +1,261 @@
+#include "analysis/crash_explorer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace romulus::analysis {
+
+namespace {
+
+constexpr size_t kLine = pmem::kCacheLineSize;
+
+// One frontier window, factored into same-line chains.  A down-closed
+// subset of the window is a choice of prefix length per chain.
+struct WindowChains {
+    std::vector<std::vector<uint32_t>> chains;  // node indices, program order
+    double subsets() const {  // down-closed subsets incl. empty + full
+        double n = 1;
+        for (const auto& c : chains) n *= double(c.size() + 1);
+        return n;
+    }
+};
+
+WindowChains factor_window(const PersistGraph& g, uint32_t w) {
+    WindowChains wc;
+    std::unordered_map<uint64_t, size_t> chain_of_line;
+    for (uint32_t node : g.window_nodes()[w]) {
+        uint64_t line = g.nodes()[node].line;
+        auto it = chain_of_line.find(line);
+        if (it == chain_of_line.end()) {
+            chain_of_line.emplace(line, wc.chains.size());
+            wc.chains.push_back({node});
+        } else {
+            wc.chains[it->second].push_back(node);
+        }
+    }
+    return wc;
+}
+
+// Applies / reverts one frontier subset on the shared image.
+class FrontierPatch {
+  public:
+    FrontierPatch(std::vector<uint8_t>& image, const PersistGraph& g,
+                  const PersistEventRecorder& rec, const WindowChains& wc)
+        : image_(image), g_(g), rec_(rec), wc_(wc) {
+        // Save the pre-window content of every line the window touches.
+        for (const auto& chain : wc_.chains) {
+            uint64_t line = g_.nodes()[chain[0]].line;
+            saved_.emplace_back(line, std::vector<uint8_t>(
+                                          image_.begin() + line * kLine,
+                                          image_.begin() + (line + 1) * kLine));
+        }
+    }
+
+    /// digits[i] = how many write-backs of chain i persisted (prefix length).
+    void apply(const std::vector<uint32_t>& digits) {
+        for (size_t i = 0; i < wc_.chains.size(); ++i) {
+            if (digits[i] == 0) continue;
+            // Only the LAST persisted write-back of a line is visible.
+            uint32_t node = wc_.chains[i][digits[i] - 1];
+            const PersistGraph::Node& n = g_.nodes()[node];
+            std::memcpy(image_.data() + n.line * kLine,
+                        rec_.line_content(rec_.events()[n.event_idx]),
+                        kLine);
+        }
+    }
+
+    void revert() {
+        for (const auto& [line, bytes] : saved_)
+            std::memcpy(image_.data() + line * kLine, bytes.data(), kLine);
+    }
+
+  private:
+    std::vector<uint8_t>& image_;
+    const PersistGraph& g_;
+    const PersistEventRecorder& rec_;
+    const WindowChains& wc_;
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> saved_;
+};
+
+uint64_t digits_key(const std::vector<uint32_t>& digits) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (uint32_t d : digits) {
+        h ^= d;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+ExploreReport explore_crash_images(const PersistGraph& graph,
+                                   const PersistEventRecorder& rec,
+                                   const CrashImageCheck& check,
+                                   const ExploreOptions& opts) {
+    ExploreReport rep;
+    rep.windows_total = graph.window_count();
+    std::mt19937_64 rng(opts.seed);
+
+    // Factor every window up front so cuts_total (and therefore the dropped
+    // count) is exact even when the budget truncates the walk early.
+    std::vector<WindowChains> factored;
+    factored.reserve(graph.window_count());
+    for (uint32_t w = 0; w < graph.window_count(); ++w) {
+        factored.push_back(factor_window(graph, w));
+        rep.cuts_total += factored.back().subsets() - 1;
+    }
+    rep.cuts_total += 1;  // the everything-persisted cut
+
+    // The shared image starts as the baseline and advances window by window:
+    // while window w is the frontier, every window < w has been applied in
+    // full and nothing at or after w has.
+    std::vector<uint8_t> image = rec.baseline();
+    uint64_t cut_index = 0;
+    bool truncated = false;
+
+    auto run_check = [&](const CrashCut& cut) {
+        ++rep.cuts_explored;
+        if (cut.sampled) ++rep.cuts_sampled;
+        std::string err;
+        if (!check(image, cut, err)) {
+            ++rep.violations;
+            if (rep.failures.size() < opts.max_failures) {
+                std::ostringstream os;
+                os << "cut " << cut.index << " (frontier window "
+                   << cut.frontier_window
+                   << (cut.sampled ? ", sampled" : "")
+                   << (cut.complete ? ", complete" : "") << "): "
+                   << (err.empty() ? "check failed" : err);
+                rep.failures.push_back(os.str());
+            }
+        }
+    };
+
+    for (uint32_t w = 0; w < graph.window_count() && !truncated; ++w) {
+        const WindowChains& wc = factored[w];
+        // Proper subsets of this frontier (full subset excluded: it is the
+        // zero subset of the next frontier; the all-windows-complete cut is
+        // emitted after the loop).
+        double proper = wc.subsets() - 1;
+        if (proper <= 0) continue;  // empty window: same cut as next frontier
+
+        FrontierPatch patch(image, graph, rec, wc);
+        std::vector<uint32_t> digits(wc.chains.size(), 0);
+        auto visit = [&](bool sampled) {
+            if (rep.cuts_explored >= opts.max_cuts) {
+                truncated = true;
+                return false;
+            }
+            CrashCut cut;
+            cut.index = cut_index++;
+            cut.frontier_window = w;
+            cut.sampled = sampled;
+            patch.apply(digits);
+            run_check(cut);
+            patch.revert();
+            return true;
+        };
+
+        if (proper + 1 <= double(opts.window_exhaustive_cap)) {
+            // Mixed-radix count over chain-prefix lengths, skipping the
+            // all-full combination.
+            bool full;
+            do {
+                full = true;
+                for (size_t i = 0; i < digits.size(); ++i)
+                    if (digits[i] != wc.chains[i].size()) {
+                        full = false;
+                        break;
+                    }
+                if (!full && !visit(false)) break;
+                // increment
+                size_t i = 0;
+                while (i < digits.size()) {
+                    if (digits[i] < wc.chains[i].size()) {
+                        ++digits[i];
+                        break;
+                    }
+                    digits[i] = 0;
+                    ++i;
+                }
+                if (i == digits.size()) break;  // wrapped: done
+            } while (!truncated);
+        } else {
+            ++rep.windows_sampled;
+            // Seeded sampling of distinct proper subsets.  Always include
+            // the empty subset (crash exactly at the fence) — it is the
+            // boundary cut the legacy tests exercise.
+            std::unordered_set<uint64_t> seen;
+            std::fill(digits.begin(), digits.end(), 0u);
+            seen.insert(digits_key(digits));
+            if (!visit(true)) break;
+            uint64_t want = std::min<double>(double(opts.window_samples),
+                                             proper);
+            for (uint64_t s = 1; s < want && !truncated; ++s) {
+                for (int attempt = 0; attempt < 64; ++attempt) {
+                    bool full = true;
+                    for (size_t i = 0; i < digits.size(); ++i) {
+                        digits[i] = uint32_t(
+                            rng() % (uint64_t(wc.chains[i].size()) + 1));
+                        if (digits[i] != wc.chains[i].size()) full = false;
+                    }
+                    if (full) continue;  // proper subsets only
+                    if (seen.insert(digits_key(digits)).second) break;
+                }
+                if (!visit(true)) break;
+            }
+        }
+
+        // Advance the frontier: apply window w in full, permanently.
+        std::fill(digits.begin(), digits.end(), 0u);
+        for (size_t i = 0; i < wc.chains.size(); ++i)
+            digits[i] = uint32_t(wc.chains[i].size());
+        patch.apply(digits);
+    }
+
+    // The everything-persisted cut.
+    if (!truncated) {
+        CrashCut cut;
+        cut.index = cut_index++;
+        cut.frontier_window = graph.window_count();
+        cut.complete = true;
+        run_check(cut);
+    }
+    rep.budget_hit = truncated;
+    rep.cuts_dropped = rep.cuts_total - double(rep.cuts_explored);
+    if (rep.cuts_dropped < 0) rep.cuts_dropped = 0;
+    rep.exhaustive = !truncated && rep.cuts_sampled == 0 &&
+                     double(rep.cuts_explored) == rep.cuts_total;
+    return rep;
+}
+
+std::string ExploreReport::summary() const {
+    std::ostringstream os;
+    os << "crash-explorer: " << cuts_explored << " image(s) checked ("
+       << cuts_sampled << " sampled) of ";
+    if (cuts_total < 1e15)
+        os << uint64_t(cuts_total);
+    else
+        os << cuts_total;
+    os << " legal crash image(s), " << windows_total << " fence window(s) ("
+       << windows_sampled << " sampled)";
+    if (exhaustive) {
+        os << " [exhaustive]";
+    } else {
+        os << "; dropped ";
+        if (cuts_dropped < 1e15)
+            os << uint64_t(cuts_dropped);
+        else
+            os << cuts_dropped;
+        os << " cut(s)" << (budget_hit ? " [budget hit]" : "");
+    }
+    os << "; " << violations << " violation(s)";
+    for (const std::string& f : failures) os << "\n  " << f;
+    return os.str();
+}
+
+}  // namespace romulus::analysis

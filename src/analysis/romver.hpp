@@ -1,0 +1,232 @@
+// romver engine harness (docs/romver.md): drives the canonical romver
+// workload against any of the five PTMs — record one update transaction's
+// persist-event stream, run the static protocol rules on its graph, and
+// model-check every (or a budgeted sample of) legal crash image through the
+// engine's real recovery path.
+//
+// The workload is the acceptance shape from the commit-path work: a heap
+// carrying a 64 KiB ballast allocation (keeps the engines out of full-copy
+// mode), a `tx_bytes` buffer and a counter as root objects, then exactly one
+// recorded transaction that overwrites the buffer with a pattern and bumps
+// the counter 0 → 1.  Every legal crash image must recover to one of the two
+// atomic states: (counter == 0, buffer all-zero) or (counter == 1, buffer
+// all-pattern) — plus twin-half/allocator/root invariants.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/crash_explorer.hpp"
+#include "analysis/persist_graph.hpp"
+#include "core/persist.hpp"
+#include "pmem/flush.hpp"
+
+namespace romulus::analysis {
+
+struct RomverConfig {
+    std::string path;               ///< heap file (required)
+    /// Keep small — every crash cut rewrites the whole file — but the redo
+    /// baseline's fixed per-thread logs alone need ~8 MiB.
+    size_t heap_bytes = 16u << 20;
+    size_t tx_bytes = 8192;
+    size_t ballast_bytes = 64 * 1024;
+    uint8_t pattern = 0xA5;
+};
+
+template <typename E>
+class RomverHarness {
+  public:
+    explicit RomverHarness(RomverConfig cfg) : cfg_(std::move(cfg)) {
+        if (cfg_.path.empty())
+            throw std::invalid_argument("RomverHarness: empty heap path");
+    }
+
+    ~RomverHarness() {
+        if (E::initialized()) E::close();
+        std::remove(cfg_.path.c_str());
+    }
+
+    RomverHarness(const RomverHarness&) = delete;
+    RomverHarness& operator=(const RomverHarness&) = delete;
+
+    /// Format a fresh heap, commit the setup transaction (ballast + buffer +
+    /// counter roots, all durable), then record exactly one update
+    /// transaction and close the engine.  The on-disk heap is left in the
+    /// fully-committed state; the recorder's baseline is the pre-transaction
+    /// durable image.
+    void record() {
+        std::remove(cfg_.path.c_str());
+        init_engine();
+        E::updateTx([&] {
+            if (cfg_.ballast_bytes != 0)
+                (void)E::alloc_bytes(cfg_.ballast_bytes);  // pins used_size
+            auto* buf = static_cast<uint8_t*>(E::alloc_bytes(cfg_.tx_bytes));
+            std::vector<uint8_t> zero(cfg_.tx_bytes, 0);
+            E::store_range(buf, zero.data(), cfg_.tx_bytes);
+            auto* ctr = static_cast<Counter*>(E::alloc_bytes(sizeof(Counter)));
+            ctr->pstore(0);
+            E::put_object(0, buf);
+            E::put_object(1, ctr);
+        });
+
+        rec_ = std::make_unique<PersistEventRecorder>(E::region().base(),
+                                                      E::region().size());
+        pmem::set_sim_hooks(rec_.get());
+        E::updateTx([&] {
+            auto* buf = E::template get_object<uint8_t>(0);
+            std::vector<uint8_t> pat(cfg_.tx_bytes, cfg_.pattern);
+            E::store_range(buf, pat.data(), cfg_.tx_bytes);
+            auto* ctr = E::template get_object<Counter>(1);
+            ctr->pstore(1);
+        });
+        pmem::set_sim_hooks(nullptr);
+
+        layout_ = EngineLayout::of<E>();
+        graph_ = std::make_unique<PersistGraph>(PersistGraph::build(*rec_));
+        E::close();
+    }
+
+    const PersistEventRecorder& recorder() const { return *rec_; }
+    const PersistGraph& graph() const { return *graph_; }
+    const EngineLayout& layout() const { return layout_; }
+
+    /// Static protocol rules + redundant-flush diagnostic on the recording.
+    GraphAnalysis analyze() const {
+        return analyze_protocol(*rec_, *graph_, layout_);
+    }
+
+    /// Model-check the crash images: each cut is written over the heap file,
+    /// the engine re-initialised (running its recovery), and the invariants
+    /// validated.  record() must have run first.
+    ExploreReport explore(const ExploreOptions& opts = {}) {
+        if (!rec_ || !graph_)
+            throw std::logic_error("RomverHarness::explore before record");
+        return explore_crash_images(
+            *graph_, *rec_,
+            [this](const std::vector<uint8_t>& image, const CrashCut& cut,
+                   std::string& err) {
+                return validate_image(image, cut, err);
+            },
+            opts);
+    }
+
+  private:
+    using Counter = persist<uint64_t, E>;
+
+    void init_engine() {
+        if constexpr (requires { E::init(size_t{0}, std::string{}, 1u); }) {
+            E::init(cfg_.heap_bytes, cfg_.path, 1);  // single-shard workload
+        } else {
+            E::init(cfg_.heap_bytes, cfg_.path);
+        }
+    }
+
+    void write_image(const std::vector<uint8_t>& image) {
+        std::ofstream f(cfg_.path, std::ios::binary | std::ios::in);
+        if (!f) throw std::runtime_error("romver: cannot reopen heap file");
+        f.write(reinterpret_cast<const char*>(image.data()),
+                std::streamsize(image.size()));
+        if (!f) throw std::runtime_error("romver: heap image write failed");
+    }
+
+    bool validate_image(const std::vector<uint8_t>& image, const CrashCut& cut,
+                        std::string& err) {
+        write_image(image);
+        E::crash_reset_for_tests();
+        try {
+            init_engine();
+        } catch (const std::exception& ex) {
+            err = std::string("recovery threw: ") + ex.what();
+            return false;
+        }
+        std::ostringstream os;
+        bool ok = true;
+
+        // Twin-half consistency: after recovery both halves must agree over
+        // the allocated range, and every shard must be IDLE.
+        if constexpr (requires { E::shard_count(); }) {
+            using TxS = decltype(E::state(0u));
+            for (unsigned sh = 0; sh < E::shard_count(); ++sh) {
+                if (E::state(sh) != TxS::IDL) {
+                    ok = false;
+                    os << "shard " << sh << " not IDLE after recovery; ";
+                }
+                if (E::back_base(sh) != nullptr &&
+                    std::memcmp(E::main_base(sh), E::back_base(sh),
+                                size_t(E::used_bytes(sh))) != 0) {
+                    ok = false;
+                    os << "shard " << sh << " twin halves differ over "
+                       << E::used_bytes(sh) << " used bytes; ";
+                }
+            }
+        }
+
+        // Root reachability + KV oracle: the transaction was atomic, so the
+        // counter selects exactly one of the two legal buffer states.
+        auto* buf = E::template get_object<uint8_t>(0);
+        auto* ctr = E::template get_object<Counter>(1);
+        if (buf == nullptr || ctr == nullptr) {
+            ok = false;
+            os << "root objects unreachable after recovery; ";
+        } else {
+            uint64_t k = ctr->pload();
+            if (k != 0 && k != 1) {
+                ok = false;
+                os << "counter holds " << k << ", expected 0 or 1; ";
+            } else if (cut.complete && k != 1) {
+                ok = false;
+                os << "complete cut recovered to counter 0; ";
+            } else {
+                uint8_t want = k == 1 ? cfg_.pattern : uint8_t{0};
+                size_t bad = cfg_.tx_bytes;
+                for (size_t i = 0; i < cfg_.tx_bytes; ++i) {
+                    if (buf[i] != want) {
+                        bad = i;
+                        break;
+                    }
+                }
+                if (bad != cfg_.tx_bytes) {
+                    ok = false;
+                    os << "buffer byte " << bad << " is 0x" << std::hex
+                       << unsigned(buf[bad]) << std::dec
+                       << " but counter says 0x" << std::hex << unsigned(want)
+                       << std::dec << " (torn transaction); ";
+                }
+            }
+        }
+
+        // Allocator metadata: a post-recovery transaction must still be able
+        // to allocate and free.
+        if (ok) {
+            try {
+                E::updateTx([&] {
+                    void* p = E::alloc_bytes(64);
+                    if (p == nullptr)
+                        throw std::runtime_error("alloc_bytes returned null");
+                    E::free_bytes(p);
+                });
+            } catch (const std::exception& ex) {
+                ok = false;
+                os << "allocator broken after recovery: " << ex.what() << "; ";
+            }
+        }
+
+        E::close();
+        if (!ok) err = os.str();
+        return ok;
+    }
+
+    RomverConfig cfg_;
+    std::unique_ptr<PersistEventRecorder> rec_;
+    std::unique_ptr<PersistGraph> graph_;
+    EngineLayout layout_;
+};
+
+}  // namespace romulus::analysis

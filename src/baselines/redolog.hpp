@@ -66,6 +66,15 @@ class RedoLogPTM {
         if (s.initialized) throw std::runtime_error("RedoLogPTM: double init");
         size_t size = heap_bytes ? heap_bytes : default_heap_bytes();
         size = (size + 4095) & ~size_t{4095};
+        // The fixed per-thread redo logs are large (kMaxThreads * ~64 KiB);
+        // without this guard heap_size underflows on a small region and
+        // format() scribbles past the mapping.
+        const size_t reserved =
+            kHeaderReserved + sizeof(ThreadLog) * size_t(sync::kMaxThreads);
+        if (size < reserved + (size_t{1} << 20))
+            throw std::invalid_argument(
+                "RedoLogPTM: heap too small: thread logs + header need " +
+                std::to_string(reserved) + " bytes plus >=1 MiB of heap");
         std::string path =
             file.empty() ? pmem::default_pmem_dir() + "/redolog.heap" : file;
         bool created = s.region.map(path, size, kBaseAddr);
@@ -324,6 +333,12 @@ class RedoLogPTM {
     static uint8_t* main_base() { return s.heap; }
     static size_t main_size() { return s.heap_size; }
     static uint8_t* back_base() { return nullptr; }
+    // Persistent per-thread redo-log area (romver attributes persist events
+    // to header/log/heap areas through these).
+    static uint8_t* log_base() { return reinterpret_cast<uint8_t*>(s.logs); }
+    static size_t log_size() {
+        return sizeof(ThreadLog) * size_t(sync::kMaxThreads);
+    }
 
     /// Test hook: clear transaction thread-locals after a simulated crash
     /// (stripe locks and the fallback mutex are reconstructed by init()).

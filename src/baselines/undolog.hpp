@@ -252,6 +252,10 @@ class UndoLogPTM {
     static uint8_t* main_base() { return s.heap; }
     static size_t main_size() { return s.heap_size; }
     static uint8_t* back_base() { return nullptr; }
+    // Persistent undo-log area (romver attributes persist events to
+    // header/log/heap areas through these).
+    static uint8_t* log_base() { return reinterpret_cast<uint8_t*>(s.log); }
+    static size_t log_size() { return s.log_capacity * sizeof(LogEntry); }
 
     /// Test hook: clear transaction thread-locals after a simulated crash.
     static void crash_reset_for_tests() { tl = TlState{}; }

@@ -22,6 +22,17 @@ inline constexpr unsigned kMaxShards = 32;
 /// var clamped to [1, kMaxShards], or 1 (the classic single-writer layout).
 unsigned default_shard_count();
 
+/// True when the build carries romver's seeded protocol-mutation hooks
+/// (-DROMULUS_PERSISTGRAPH).  The persist-graph capture itself rides the
+/// always-on SimHooks plumbing; only the deliberate-bug branches in the
+/// engines are compiled in/out by the flag.  Tests and the romver CLI key
+/// mutation runs on this.
+#ifdef ROMULUS_PERSISTGRAPH
+inline constexpr bool kPersistGraphEnabled = true;
+#else
+inline constexpr bool kPersistGraphEnabled = false;
+#endif
+
 /// Process-wide transaction-lifecycle counters, aggregated across all
 /// engines.  Cheap (relaxed atomics); mostly useful to sanity-check that the
 /// lifecycle instrumentation fires for every engine under test.

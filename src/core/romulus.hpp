@@ -41,6 +41,9 @@
 
 #include "alloc/pallocator.hpp"
 #include "analysis/race_hooks.hpp"
+#ifdef ROMULUS_PERSISTGRAPH
+#include "analysis/persist_graph.hpp"  // seeded protocol-mutation hooks
+#endif
 #include "core/engine_globals.hpp"
 #include "core/persist.hpp"
 #include "core/range_log.hpp"
@@ -269,12 +272,34 @@ class RomulusEngine {
             return;
         }
         Shard& sh = current_shard();
-        if constexpr (Traits::kUseLog) flush_logged_main_lines(sh);
-        flush_used_size(sh);
-        pmem::pfence();
-        store_state(sh, CPY);
-        pmem::pwb(&sh.hdr->state);
-        pmem::psync();  // ACID durability point for this shard's main
+#ifdef ROMULUS_PERSISTGRAPH
+        const analysis::ProtocolMutations& pgm =
+            analysis::protocol_mutations();
+#else
+        struct {
+            bool elide_commit_fence = false;
+            bool reorder_state_persist = false;
+        } constexpr pgm{};  // folds every mutation branch away
+#endif
+        if (pgm.reorder_state_persist) {
+            // Seeded protocol bug: persist the CPY state word BEFORE the
+            // body write-backs — the state persist is unordered with the
+            // data it advertises.  romver's static rules must flag this.
+            store_state(sh, CPY);
+            pmem::pwb(&sh.hdr->state);
+            if constexpr (Traits::kUseLog) flush_logged_main_lines(sh);
+            flush_used_size(sh);
+            pmem::psync();
+        } else {
+            if constexpr (Traits::kUseLog) flush_logged_main_lines(sh);
+            flush_used_size(sh);
+            // Seeded protocol bug: eliding this pfence leaves the body
+            // write-backs unordered with the CPY state persist.
+            if (!pgm.elide_commit_fence) pmem::pfence();
+            store_state(sh, CPY);
+            pmem::pwb(&sh.hdr->state);
+            pmem::psync();  // ACID durability point for this shard's main
+        }
         if constexpr (Traits::kUseLR) {
             // Publish: new readers go to main while we refresh back.
             sh.lr.set_read_region(sync::LeftRight::kReadMain);
@@ -515,6 +540,14 @@ class RomulusEngine {
         return shard(shard_id).alloc;
     }
     static pmem::PmemRegion& region() { return s.region; }
+    /// Exact addresses of the per-shard protocol words (romver layout
+    /// introspection: the persist-graph rules key on these offsets).
+    static const void* state_addr(unsigned shard_id = 0) {
+        return &shard(shard_id).hdr->state;
+    }
+    static const void* used_size_addr(unsigned shard_id = 0) {
+        return &shard(shard_id).hdr->used_size;
+    }
 
     /// Flat-combining aggregation stats (§5.3: several announced updates
     /// execute inside one durable transaction, so the *average* number of

@@ -72,6 +72,7 @@
 #include <vector>
 
 #include "pmem/flush.hpp"
+#include "pmem/stats.hpp"
 
 namespace romulus::pmem {
 
@@ -189,6 +190,14 @@ class PersistencyChecker final : public SimHooks {
         /// commit (inclusive of commit's own fences) — Table 1 material.
         uint64_t fences_in_last_tx = 0;
         uint64_t pwbs_in_last_tx = 0;
+
+        /// Feed the redundant-flush diagnostic into the commit-path
+        /// counters, mirroring romver's GraphAnalysis::record_in — the
+        /// live checker and the offline persist-graph pass deposit into
+        /// the same CommitStats field.
+        void record_in(CommitStats& cs) const {
+            cs.redundant_pwbs += redundant_pwb;
+        }
     };
     Diagnostics diagnostics() const;
 

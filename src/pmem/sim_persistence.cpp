@@ -9,24 +9,28 @@ SimPersistence::SimPersistence(uint8_t* base, size_t size, Options opts)
       rng_(opts.seed) {}
 
 void SimPersistence::on_store(const void* addr, size_t len) {
-    if (!in_region(addr) || len == 0) return;
-    std::lock_guard lk(mu_);
-    size_t first = line_of(addr);
-    size_t last = line_of(static_cast<const uint8_t*>(addr) + len - 1);
-    for (size_t l = first; l <= last; ++l) dirty_.insert(l);
+    if (in_region(addr) && len != 0) {
+        std::lock_guard lk(mu_);
+        size_t first = line_of(addr);
+        size_t last = line_of(static_cast<const uint8_t*>(addr) + len - 1);
+        for (size_t l = first; l <= last; ++l) dirty_.insert(l);
+    }
+    if (opts_.next) opts_.next->on_store(addr, len);
 }
 
 void SimPersistence::on_pwb(const void* addr) {
-    if (!in_region(addr)) return;
-    std::lock_guard lk(mu_);
-    size_t l = line_of(addr);
-    dirty_.erase(l);
-    if (opts_.content == FlushContent::AtPwb) {
-        const uint8_t* src = base_ + l * kCacheLineSize;
-        pending_[l].assign(src, src + kCacheLineSize);
-    } else {
-        pending_.try_emplace(l);  // content resolved at fence time
+    if (in_region(addr)) {
+        std::lock_guard lk(mu_);
+        size_t l = line_of(addr);
+        dirty_.erase(l);
+        if (opts_.content == FlushContent::AtPwb) {
+            const uint8_t* src = base_ + l * kCacheLineSize;
+            pending_[l].assign(src, src + kCacheLineSize);
+        } else {
+            pending_.try_emplace(l);  // content resolved at fence time
+        }
     }
+    if (opts_.next) opts_.next->on_pwb(addr);
 }
 
 void SimPersistence::persist_line_locked(size_t line, const uint8_t* content) {
@@ -54,6 +58,7 @@ void SimPersistence::on_fence() {
             }
         }
     }
+    if (opts_.next) opts_.next->on_fence();
 }
 
 void SimPersistence::crash_restore() {

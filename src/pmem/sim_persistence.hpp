@@ -55,6 +55,13 @@ class SimPersistence final : public SimHooks {
         FlushContent content = FlushContent::AtFence;
         double evict_probability = 0.0;  ///< per dirty line, per fence
         uint64_t seed = 1;
+        /// Forward every event to this observer after processing it, the
+        /// same composition pattern PersistencyChecker::Options uses — e.g.
+        /// romver's PersistEventRecorder records the stream while this
+        /// crash model consumes it.  Not owned.  Note for recorder users:
+        /// the persist-graph model assumes no spontaneous eviction; chain
+        /// the recorder only with evict_probability == 0.
+        SimHooks* next = nullptr;
     };
 
     /// Track [base, base+size). The shadow image is initialised from the
@@ -63,10 +70,26 @@ class SimPersistence final : public SimHooks {
     SimPersistence(uint8_t* base, size_t size)
         : SimPersistence(base, size, Options()) {}
 
-    // SimHooks
+    // SimHooks.  The tx/state/range events are no-ops for the crash model
+    // itself but must still be forwarded for Options::next chaining.
     void on_store(const void* addr, size_t len) override;
     void on_pwb(const void* addr) override;
     void on_fence() override;
+    void on_tx_begin() override {
+        if (opts_.next) opts_.next->on_tx_begin();
+    }
+    void on_tx_commit() override {
+        if (opts_.next) opts_.next->on_tx_commit();
+    }
+    void on_tx_abort() override {
+        if (opts_.next) opts_.next->on_tx_abort();
+    }
+    void on_state_transition(uint32_t new_state) override {
+        if (opts_.next) opts_.next->on_state_transition(new_state);
+    }
+    void on_range_logged(const void* addr, size_t len) override {
+        if (opts_.next) opts_.next->on_range_logged(addr, len);
+    }
 
     /// Number of persistence events (fences) seen so far; crash schedules in
     /// the property tests are expressed in these units.  Atomic because the

@@ -63,6 +63,11 @@ struct CommitStats {
     uint64_t lines_logged = 0;  ///< per-line log entries before merging
     uint64_t nt_bytes = 0;      ///< replica bytes via non-temporal stores
     uint64_t cached_bytes = 0;  ///< replica bytes via cached stores + pwb
+    /// Write-backs of lines with no prior dirty store — wasted flushes.
+    /// Counted offline by romver's static rule pass (GraphAnalysis::
+    /// record_in) rather than on the hot path; stays 0 unless an analysis
+    /// run deposits its diagnostic here.
+    uint64_t redundant_pwbs = 0;
 
     /// Lines whose individual memcpy/pwb dispatch was avoided by merging.
     uint64_t lines_merged() const { return lines_logged - runs; }

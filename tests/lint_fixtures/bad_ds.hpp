@@ -61,10 +61,26 @@ class BadSet {
         return n;
     }
 
+    void publish(Node* n) {
+        n->key = 7;
+        // BUG[barren-pfence]: a fence with no write-back ordered before it
+        // in this function — the store above was never pwb'd, so it can
+        // still persist after the fence; the ordering the fence was meant
+        // to establish does not exist.
+        PTM::pfence();
+    }
+
     // NOT a bug: read-direction copy with a same-line allow annotation; the
-    // fixture test relies on this staying suppressed (violation count == 5).
+    // fixture test relies on this staying suppressed (violation count == 6).
     void read_out(const Node* n, void* out) {
         std::memcpy(out, n, sizeof(Node));  // romlint: allow(raw-memcpy) read copy
+    }
+
+    // NOT a bug: a fence that by design drains the *caller's* outstanding
+    // write-backs (a drain barrier, not a publication fence) — annotated, and
+    // the fixture test relies on this staying suppressed.
+    void drain_barrier() {
+        PTM::pfence();  // romlint: allow(barren-pfence) drains caller's pwbs
     }
 };
 

@@ -1,0 +1,386 @@
+// romver unit layer (docs/romver.md): golden persist-graph construction from
+// a hand-driven event sequence, the static protocol rules on synthetic
+// streams, and crash-cut enumeration on graphs small enough to verify by
+// hand — no engine involved, every expectation computed on paper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "analysis/crash_explorer.hpp"
+#include "analysis/persist_graph.hpp"
+#include "pmem/sim_persistence.hpp"
+#include "pmem/stats.hpp"
+
+namespace romulus::analysis {
+namespace {
+
+constexpr size_t kLine = pmem::kCacheLineSize;
+
+// A 16-line scratch "region" the tests drive hooks against directly.
+struct Scratch {
+    alignas(64) uint8_t mem[16 * kLine] = {};
+    uint8_t* at(size_t line, size_t byte = 0) { return mem + line * kLine + byte; }
+};
+
+// ---------------------------------------------------------------------------
+// Golden graph: known event sequence -> known node/window/edge structure
+// ---------------------------------------------------------------------------
+
+TEST(PersistGraph, GoldenEventSequenceProducesKnownEdgeSet) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+
+    // window 0: lines 0 and 1 written back, line 0 twice (same-line chain).
+    rgn.at(0)[0] = 1;
+    rec.on_store(rgn.at(0), 1);
+    rec.on_pwb(rgn.at(0));          // node 0: line 0, window 0
+    rgn.at(0)[1] = 2;
+    rec.on_store(rgn.at(0, 1), 1);
+    rec.on_pwb(rgn.at(0));          // node 1: line 0, window 0, pred 0
+    rgn.at(1)[0] = 3;
+    rec.on_store(rgn.at(1), 1);
+    rec.on_pwb(rgn.at(1));          // node 2: line 1, window 0
+    rec.on_fence();
+    // window 1: line 2.
+    rgn.at(2)[0] = 4;
+    rec.on_store(rgn.at(2), 1);
+    rec.on_pwb(rgn.at(2));          // node 3: line 2, window 1
+    rec.on_fence();
+    // window 2 (trailing, open): empty.
+
+    PersistGraph g = PersistGraph::build(rec);
+    ASSERT_EQ(g.nodes().size(), 4u);
+    EXPECT_EQ(g.window_count(), 3u);
+    ASSERT_EQ(g.window_nodes().size(), 3u);
+    EXPECT_EQ(g.window_nodes()[0], (std::vector<uint32_t>{0, 1, 2}));
+    EXPECT_EQ(g.window_nodes()[1], (std::vector<uint32_t>{3}));
+    EXPECT_TRUE(g.window_nodes()[2].empty());
+
+    EXPECT_EQ(g.nodes()[0].line, 0u);
+    EXPECT_EQ(g.nodes()[0].same_line_pred, PersistGraph::kNoNode);
+    EXPECT_EQ(g.nodes()[1].line, 0u);
+    EXPECT_EQ(g.nodes()[1].same_line_pred, 0u);
+    EXPECT_EQ(g.nodes()[2].line, 1u);
+    EXPECT_EQ(g.nodes()[2].same_line_pred, PersistGraph::kNoNode);
+    EXPECT_EQ(g.nodes()[3].window, 1u);
+
+    // Happens-before: fence edges across windows, same-line chains within,
+    // nothing else.
+    EXPECT_TRUE(g.ordered_before(0, 3));   // window 0 -> window 1
+    EXPECT_TRUE(g.ordered_before(2, 3));
+    EXPECT_TRUE(g.ordered_before(0, 1));   // same line, program order
+    EXPECT_FALSE(g.ordered_before(1, 0));
+    EXPECT_FALSE(g.ordered_before(0, 2));  // different lines, same window
+    EXPECT_FALSE(g.ordered_before(2, 0));
+    EXPECT_FALSE(g.ordered_before(3, 0));
+}
+
+TEST(PersistGraph, PwbCapturesLineContentAtIssueTime) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    rgn.at(3)[7] = 0xAB;
+    rec.on_store(rgn.at(3, 7), 1);
+    rec.on_pwb(rgn.at(3));
+    rgn.at(3)[7] = 0xCD;  // later store must NOT leak into the capture
+    const auto& e = rec.events().back();
+    EXPECT_EQ(rec.line_content(e)[7], 0xAB);
+    // Baseline snapshot is the construction-time content.
+    EXPECT_EQ(rec.baseline()[3 * kLine + 7], 0u);
+}
+
+TEST(PersistGraph, RecorderChainsToNextObserver) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    pmem::SimPersistence::Options sopts;
+    sopts.next = &rec;
+    pmem::SimPersistence sim(rgn.mem, sizeof(rgn.mem), sopts);
+    rgn.at(0)[0] = 9;
+    sim.on_store(rgn.at(0), 1);
+    sim.on_pwb(rgn.at(0));
+    sim.on_fence();
+    sim.on_state_transition(2);
+    sim.on_tx_commit();
+    ASSERT_EQ(rec.events().size(), 5u);
+    EXPECT_EQ(rec.events()[0].kind, PersistEventKind::Store);
+    EXPECT_EQ(rec.events()[1].kind, PersistEventKind::Pwb);
+    EXPECT_EQ(rec.events()[2].kind, PersistEventKind::Fence);
+    EXPECT_EQ(rec.events()[3].kind, PersistEventKind::StateTransition);
+    EXPECT_EQ(rec.events()[3].state, 2u);
+    EXPECT_EQ(rec.events()[4].kind, PersistEventKind::TxCommit);
+    EXPECT_EQ(sim.fence_count(), 1u);  // the sim itself still works
+}
+
+// ---------------------------------------------------------------------------
+// Static protocol rules on synthetic streams
+// ---------------------------------------------------------------------------
+
+// Layout: one shard, main = lines 4..7, state word at line 1 byte 0,
+// used word at line 1 byte 8.
+EngineLayout one_shard_layout() {
+    EngineLayout l;
+    l.region_size = 16 * kLine;
+    EngineLayout::Shard sh;
+    sh.main_off = 4 * kLine;
+    sh.main_size = 4 * kLine;
+    sh.back_off = EngineLayout::kNone;
+    sh.state_off = 1 * kLine;
+    sh.used_off = 1 * kLine + 8;
+    l.shards.push_back(sh);
+    return l;
+}
+
+// Emit the MUT prologue + a body store, then the commit-side events per the
+// flags, mirroring the engine's end_transaction shapes.
+void drive_commit(Scratch& rgn, PersistEventRecorder& rec, bool flush_body,
+                  bool fence_before_state) {
+    // begin: MUT state persist
+    rec.on_store(rgn.at(1), 4);
+    rec.on_state_transition(1);
+    rec.on_pwb(rgn.at(1));
+    rec.on_fence();
+    // body
+    rec.on_store(rgn.at(4), 8);
+    if (flush_body) rec.on_pwb(rgn.at(4));
+    if (fence_before_state) rec.on_fence();
+    // CPY state persist
+    rec.on_store(rgn.at(1), 4);
+    rec.on_state_transition(2);
+    rec.on_pwb(rgn.at(1));
+    rec.on_fence();
+}
+
+TEST(ProtocolRules, WellFencedCommitIsClean) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    drive_commit(rgn, rec, /*flush_body=*/true, /*fence_before_state=*/true);
+    PersistGraph g = PersistGraph::build(rec);
+    GraphAnalysis ga = analyze_protocol(rec, g, one_shard_layout());
+    EXPECT_TRUE(ga.clean()) << ga.report();
+    EXPECT_EQ(ga.state_persists, 2u);
+    EXPECT_EQ(ga.redundant_pwbs, 0u);
+}
+
+TEST(ProtocolRules, DirtyLineWithNoWritebackIsFlagged) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    drive_commit(rgn, rec, /*flush_body=*/false, /*fence_before_state=*/true);
+    PersistGraph g = PersistGraph::build(rec);
+    GraphAnalysis ga = analyze_protocol(rec, g, one_shard_layout());
+    ASSERT_EQ(ga.violations.size(), 1u);
+    EXPECT_EQ(ga.violations[0].kind, ProtocolViolation::Kind::UnflushedLine);
+    EXPECT_EQ(ga.violations[0].line_off, 4 * kLine);
+    EXPECT_EQ(ga.violations[0].state_value, 2u);
+    EXPECT_NE(ga.violations[0].detail.find("no write-back"),
+              std::string::npos);
+}
+
+TEST(ProtocolRules, MissingFenceBeforeStatePersistIsFlagged) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    drive_commit(rgn, rec, /*flush_body=*/true, /*fence_before_state=*/false);
+    PersistGraph g = PersistGraph::build(rec);
+    GraphAnalysis ga = analyze_protocol(rec, g, one_shard_layout());
+    ASSERT_EQ(ga.violations.size(), 1u);
+    const ProtocolViolation& v = ga.violations[0];
+    EXPECT_EQ(v.kind, ProtocolViolation::Kind::UnorderedStatePersist);
+    EXPECT_EQ(v.line_off, 4 * kLine);
+    // The report names the unordered line/fence-window pair.
+    EXPECT_EQ(v.line_window, 1u);
+    EXPECT_EQ(v.state_window, 1u);
+    EXPECT_NE(v.detail.find("window 1"), std::string::npos);
+    EXPECT_NE(v.detail.find("not ordered before"), std::string::npos);
+}
+
+TEST(ProtocolRules, RedundantPwbCountedAndWiredIntoCommitStats) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    rec.on_store(rgn.at(4), 8);
+    rec.on_pwb(rgn.at(4));  // covers the store
+    rec.on_pwb(rgn.at(4));  // redundant: no dirty store since the last pwb
+    rec.on_pwb(rgn.at(5));  // redundant: line never stored at all
+    PersistGraph g = PersistGraph::build(rec);
+    GraphAnalysis ga = analyze_protocol(rec, g, one_shard_layout());
+    EXPECT_EQ(ga.redundant_pwbs, 2u);
+    pmem::CommitStats cs;
+    ga.record_in(cs);
+    EXPECT_EQ(cs.redundant_pwbs, 2u);
+    ga.record_in(cs);
+    EXPECT_EQ(cs.redundant_pwbs, 4u);  // accumulates
+}
+
+// ---------------------------------------------------------------------------
+// Crash-cut enumeration on hand-checkable graphs
+// ---------------------------------------------------------------------------
+
+TEST(CrashExplorer, ExhaustiveEnumerationMatchesTheory) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    // window 0: chains {line0: 2 writebacks} {line1: 1}  -> 3*2 subsets
+    rgn.at(0)[0] = 1;
+    rec.on_store(rgn.at(0), 1);
+    rec.on_pwb(rgn.at(0));
+    rgn.at(0)[0] = 2;
+    rec.on_store(rgn.at(0), 1);
+    rec.on_pwb(rgn.at(0));
+    rgn.at(1)[0] = 3;
+    rec.on_store(rgn.at(1), 1);
+    rec.on_pwb(rgn.at(1));
+    rec.on_fence();
+    // window 1: chain {line2: 1}  -> 2 subsets
+    rgn.at(2)[0] = 4;
+    rec.on_store(rgn.at(2), 1);
+    rec.on_pwb(rgn.at(2));
+
+    PersistGraph g = PersistGraph::build(rec);
+    // cuts = (3*2 - 1) + (2 - 1) + 1 complete = 7
+    std::set<std::vector<uint8_t>> images;
+    uint64_t complete_seen = 0;
+    ExploreReport rep = explore_crash_images(
+        g, rec,
+        [&](const std::vector<uint8_t>& img, const CrashCut& cut,
+            std::string&) {
+            images.insert(img);
+            if (cut.complete) {
+                ++complete_seen;
+                EXPECT_EQ(img[0], 2u);
+                EXPECT_EQ(img[kLine], 3u);
+                EXPECT_EQ(img[2 * kLine], 4u);
+            }
+            return true;
+        });
+    EXPECT_TRUE(rep.exhaustive);
+    EXPECT_EQ(rep.cuts_total, 7.0);
+    EXPECT_EQ(rep.cuts_explored, 7u);
+    EXPECT_EQ(rep.cuts_sampled, 0u);
+    EXPECT_EQ(rep.cuts_dropped, 0.0);
+    EXPECT_EQ(rep.violations, 0u);
+    EXPECT_EQ(complete_seen, 1u);
+    // Every cut produced a DISTINCT image (no image visited twice): the
+    // same-line chain values differ and line2 only appears in window 1.
+    EXPECT_EQ(images.size(), 7u);
+    EXPECT_NE(rep.summary().find("[exhaustive]"), std::string::npos);
+}
+
+TEST(CrashExplorer, DownClosedCutsOnly) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    // line0 persisted in window 0, line1 in window 1: line1 may never be
+    // durable without line0.
+    rgn.at(0)[0] = 1;
+    rec.on_store(rgn.at(0), 1);
+    rec.on_pwb(rgn.at(0));
+    rec.on_fence();
+    rgn.at(1)[0] = 1;
+    rec.on_store(rgn.at(1), 1);
+    rec.on_pwb(rgn.at(1));
+
+    PersistGraph g = PersistGraph::build(rec);
+    ExploreReport rep = explore_crash_images(
+        g, rec,
+        [&](const std::vector<uint8_t>& img, const CrashCut&, std::string&) {
+            if (img[kLine] == 1) EXPECT_EQ(img[0], 1u);  // fence edge holds
+            return true;
+        });
+    EXPECT_TRUE(rep.exhaustive);
+    EXPECT_EQ(rep.cuts_explored, 3u);  // {}, {line0}, {line0,line1}
+}
+
+TEST(CrashExplorer, SamplingIsDeterministicUnderFixedSeed) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    // One window of 10 single-writeback chains: 2^10 = 1024 subsets.
+    for (size_t l = 0; l < 10; ++l) {
+        rgn.at(l)[0] = uint8_t(l + 1);
+        rec.on_store(rgn.at(l), 1);
+        rec.on_pwb(rgn.at(l));
+    }
+    PersistGraph g = PersistGraph::build(rec);
+
+    ExploreOptions opts;
+    opts.window_exhaustive_cap = 64;  // force sampling
+    opts.window_samples = 20;
+    opts.seed = 42;
+
+    auto run = [&] {
+        std::vector<std::vector<uint8_t>> images;
+        ExploreReport rep = explore_crash_images(
+            g, rec,
+            [&](const std::vector<uint8_t>& img, const CrashCut&,
+                std::string&) {
+                images.push_back(img);
+                return true;
+            },
+            opts);
+        return std::make_pair(rep, images);
+    };
+    auto [rep1, img1] = run();
+    auto [rep2, img2] = run();
+    EXPECT_EQ(rep1.cuts_explored, rep2.cuts_explored);
+    EXPECT_EQ(rep1.cuts_sampled, rep2.cuts_sampled);
+    EXPECT_EQ(img1, img2);  // identical cut sequence, byte for byte
+    EXPECT_EQ(rep1.windows_sampled, 1u);
+    EXPECT_FALSE(rep1.exhaustive);
+    EXPECT_EQ(rep1.cuts_total, 1024.0);
+    EXPECT_GT(rep1.cuts_dropped, 0.0);
+    // Different seed -> different sample set (overwhelmingly likely).
+    opts.seed = 43;
+    auto [rep3, img3] = run();
+    EXPECT_EQ(rep3.cuts_explored, rep1.cuts_explored);
+    EXPECT_NE(img1, img3);
+}
+
+TEST(CrashExplorer, BudgetTruncationIsReported) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    for (size_t l = 0; l < 8; ++l) {
+        rgn.at(l)[0] = uint8_t(l + 1);
+        rec.on_store(rgn.at(l), 1);
+        rec.on_pwb(rgn.at(l));
+    }
+    PersistGraph g = PersistGraph::build(rec);
+    ExploreOptions opts;
+    opts.max_cuts = 10;
+    ExploreReport rep = explore_crash_images(
+        g, rec,
+        [](const std::vector<uint8_t>&, const CrashCut&, std::string&) {
+            return true;
+        },
+        opts);
+    EXPECT_TRUE(rep.budget_hit);
+    EXPECT_FALSE(rep.exhaustive);
+    EXPECT_EQ(rep.cuts_explored, 10u);
+    EXPECT_EQ(rep.cuts_total, 256.0);
+    EXPECT_EQ(rep.cuts_dropped, 246.0);
+    EXPECT_NE(rep.summary().find("dropped 246"), std::string::npos);
+    EXPECT_NE(rep.summary().find("[budget hit]"), std::string::npos);
+}
+
+TEST(CrashExplorer, ViolationsAreCollectedWithCutDescriptions) {
+    Scratch rgn;
+    PersistEventRecorder rec(rgn.mem, sizeof(rgn.mem));
+    rgn.at(0)[0] = 1;
+    rec.on_store(rgn.at(0), 1);
+    rec.on_pwb(rgn.at(0));
+    PersistGraph g = PersistGraph::build(rec);
+    ExploreReport rep = explore_crash_images(
+        g, rec,
+        [](const std::vector<uint8_t>& img, const CrashCut&,
+           std::string& err) {
+            if (img[0] == 1) {
+                err = "synthetic invariant failure";
+                return false;
+            }
+            return true;
+        });
+    EXPECT_EQ(rep.violations, 1u);
+    ASSERT_EQ(rep.failures.size(), 1u);
+    EXPECT_NE(rep.failures[0].find("synthetic invariant failure"),
+              std::string::npos);
+    EXPECT_NE(rep.summary().find("1 violation(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace romulus::analysis

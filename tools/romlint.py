@@ -32,6 +32,12 @@ Rules
                   RomulusLR reader may hold a synthetic back-region pointer
                   that is invalid once it departs, and in general the object
                   may be freed or superseded by the time the pointer is used.
+  barren-pfence   A pfence() with no pwb/persist_copy ordered before it in
+                  the same function body.  Either the write-back is missing
+                  (the stores this fence was meant to order can still persist
+                  after it — the exact bug romver's persist-order rules catch
+                  dynamically) or the fence is dead cost.  Fences that drain
+                  a *caller's* write-backs by design must be annotated.
 
 Allowlist annotations
 ---------------------
@@ -60,7 +66,7 @@ import sys
 from pathlib import Path
 
 RULES = ("raw-field", "raw-deref-write", "raw-memcpy", "direct-pstore",
-         "raw-ptr-escape")
+         "raw-ptr-escape", "barren-pfence")
 
 ALLOW_RE = re.compile(r"romlint:\s*allow\(([a-z-,\s]+)\)")
 ALLOW_FILE_RE = re.compile(r"romlint:\s*allow-file\(([a-z-,\s]+)\)")
@@ -86,6 +92,15 @@ TX_ENTRY_RE = re.compile(r"(?<!\w)(?:readTx|updateTx)\s*(?:<[^(]*>)?\s*\(")
 TX_ASSIGN_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*=(?!=)(.*)$")
 # RHS expressions that produce a pointer into the persistent heap.
 ESCAPE_SRC_RE = re.compile(r"get_object\s*<|pload\s*\(|\.addr\s*\(")
+# barren-pfence: fence and write-back call sites, and a function-body opener
+# (an identifier'd parameter list whose `{` is on the same line; control-flow
+# parens are excluded by keyword).
+PFENCE_RE = re.compile(r"(?<!\w)(?:[\w:.>-]*(?:\.|->|::))?pfence\s*\(")
+FLUSH_CALL_RE = re.compile(
+    r"(?<!\w)(?:[\w:.>-]*(?:\.|->|::))?(?:pwb|persist_copy)\s*\(")
+FUNC_OPEN_RE = re.compile(
+    r"[\w>]\s*\([^;{}]*\)\s*(?:const\b|noexcept\b|override\b|final\b|\s)*\{")
+CONTROL_KW_RE = re.compile(r"(?<!\w)(?:if|for|while|switch|catch|return)\s*\(")
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -187,6 +202,10 @@ def scan_file(path, text):
     # plus a stack of brace depths at which a readTx/updateTx lambda opened.
     ptr_decls = {}
     tx_stack = []
+    # barren-pfence state: stack of function bodies, each tracking whether a
+    # pwb/persist_copy has been seen yet.  Lambdas don't push a frame, so a
+    # fence inside one attributes to the enclosing function (lenient).
+    func_stack = []
 
     for line_no, raw in enumerate(lines, 1):
         code, comment, in_block = strip_comments_and_strings(raw, in_block)
@@ -211,6 +230,19 @@ def scan_file(path, text):
             report("raw-deref-write",
                    "assignment through a dereference bypasses persist<T> "
                    "interposition (operator* returns a raw reference)")
+        if func_stack:
+            pfm = PFENCE_RE.search(code)
+            flm = FLUSH_CALL_RE.search(code)
+            if flm and (pfm is None or flm.start() < pfm.start()):
+                func_stack[-1]["seen_flush"] = True
+            if pfm and not func_stack[-1]["seen_flush"]:
+                report("barren-pfence",
+                       "pfence with no preceding pwb/persist_copy in this "
+                       "function: the fence orders no write-back — add the "
+                       "missing flush, or annotate if it drains a caller's "
+                       "write-backs by design")
+            if flm:
+                func_stack[-1]["seen_flush"] = True
 
         # --- flow-level rule (raw-ptr-escape) --------------------------
         if tx_stack:
@@ -250,9 +282,15 @@ def scan_file(path, text):
             elif is_member_decl(code):
                 struct_stack[-1]["members"].append((line_no, code.strip(),
                                                     allows))
+        if (not opened_struct and FUNC_OPEN_RE.search(code)
+                and not CONTROL_KW_RE.search(code)):
+            func_stack.append({"entry_depth": depth_before,
+                               "seen_flush": False})
         depth += code.count("{") - code.count("}")
         while tx_stack and depth <= tx_stack[-1]:
             tx_stack.pop()
+        while func_stack and depth <= func_stack[-1]["entry_depth"]:
+            func_stack.pop()
         if ptr_decls and "}" in code:
             ptr_decls = {k: v for k, v in ptr_decls.items() if v <= depth}
         while struct_stack and depth <= struct_stack[-1]["entry_depth"]:
