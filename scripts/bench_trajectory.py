@@ -57,6 +57,20 @@ SCHEMAS = {
             "metrics": {"gib_s": ("throughput", "higher")},
         },
     },
+    "readers": {
+        "ab": {
+            "key": ("engine", "threads", "mode"),
+            "metrics": {
+                "read_tx_per_sec": ("throughput", "higher"),
+            },
+        },
+        "latency": {
+            "key": ("engine", "mode"),
+            "metrics": {
+                "ns_per_read": ("throughput", "lower"),
+            },
+        },
+    },
     "sharding": {
         "sweep": {
             "key": ("threads", "shards"),

@@ -271,7 +271,8 @@ void RaceDetector::on_release_tid(const void* obj, const char* label,
 
 bool RaceDetector::on_optimistic_read(const void* stripe, const void* addr,
                                       size_t len, uint64_t observed,
-                                      const std::atomic<uint64_t>* lock_word) {
+                                      const std::atomic<uint64_t>* lock_word,
+                                      const char* label) {
     const int t = sync::tid();
     std::lock_guard lk(mu_);
     if (lock_word->load(std::memory_order_seq_cst) != observed) return false;
@@ -280,9 +281,9 @@ bool RaceDetector::on_optimistic_read(const void* stripe, const void* addr,
     // must come last: it bumps this thread's clock, so recording the read
     // after it would stamp an epoch the stripe's sync clock never carries
     // and a correctly-synchronised committer would be flagged.
-    acquire_locked(t, stripe, "redo.validate");
+    acquire_locked(t, stripe, label);
     read_locked(t, addr, len);
-    release_locked(t, stripe, "redo.validate");
+    release_locked(t, stripe, label);
     return true;
 }
 
@@ -388,10 +389,11 @@ void race_thread_release(const void* obj, const char* label, int tid) {
 
 bool race_optimistic_read(const void* stripe, const void* addr, size_t len,
                           uint64_t observed,
-                          const std::atomic<uint64_t>* lock_word) {
+                          const std::atomic<uint64_t>* lock_word,
+                          const char* label) {
     RaceDetector& d = RaceDetector::instance();
     if (!d.enabled()) return true;
-    return d.on_optimistic_read(stripe, addr, len, observed, lock_word);
+    return d.on_optimistic_read(stripe, addr, len, observed, lock_word, label);
 }
 
 void race_set_tx(const char* kind) {

@@ -134,17 +134,21 @@ class RaceDetector {
     void on_acquire_tid(const void* obj, const char* label, int tid);
     void on_release_tid(const void* obj, const char* label, int tid);
 
-    /// Optimistic-read event for TL2-style engines (RedoLogPTM): atomically
-    /// re-validates the stripe's lock word against `observed` *inside* the
-    /// detector's mutex and only then records acquire+release on the stripe
-    /// and the read itself.  Returns false (record nothing) if the word
-    /// changed — the caller must abort the transaction, exactly as it would
-    /// on a failed l1/l2 validation.  Without the combined re-check, a
-    /// writer locking the stripe between the caller's validation and the
+    /// Optimistic-read event for validated speculative reads: atomically
+    /// re-validates the version/sequence word against `observed` *inside*
+    /// the detector's mutex and only then records acquire+release on the
+    /// sync object and the read itself.  Returns false (record nothing) if
+    /// the word changed — the caller must abort the attempt, exactly as it
+    /// would on its own failed validation.  Without the combined re-check, a
+    /// writer bumping the word between the caller's validation and the
     /// detector call could record its write first and produce a false race.
+    /// Two users: RedoLogPTM's TL2 stripe validation (`label` =
+    /// "redo.validate") and the seqlock read fast path of the C-RW-WP
+    /// engines ("seqlock.validate", DESIGN.md §4.9).
     bool on_optimistic_read(const void* stripe, const void* addr, size_t len,
                             uint64_t observed,
-                            const std::atomic<uint64_t>* lock_word);
+                            const std::atomic<uint64_t>* lock_word,
+                            const char* label);
 
     /// Set this thread's transaction-context label (a string literal;
     /// nullptr = outside any transaction).  Stamped into access sites.
@@ -239,7 +243,8 @@ void race_thread_acquire(const void* obj, const char* label, int tid);
 void race_thread_release(const void* obj, const char* label, int tid);
 bool race_optimistic_read(const void* stripe, const void* addr, size_t len,
                           uint64_t observed,
-                          const std::atomic<uint64_t>* lock_word);
+                          const std::atomic<uint64_t>* lock_word,
+                          const char* label);
 void race_set_tx(const char* kind);
 void race_register_region(const void* base, size_t size, const char* name,
                           const char* part, const void* state_word);

@@ -16,9 +16,12 @@
 //     (successful lock exchange, writer-flag check, drain completion,
 //     read_region load, slot load).  The matching release is therefore
 //     always recorded first.
-// TL2-style optimistic reads cannot follow this discipline (nothing is ever
-// "held"), so they use ROMULUS_RACE_OPTIMISTIC_READ, which re-validates the
-// stripe's version word inside the detector's mutex.
+// Optimistic reads (TL2 stripe validation in RedoLogPTM, the seqlock read
+// fast path of the C-RW-WP engines) cannot follow this discipline (nothing
+// is ever "held"), so they use ROMULUS_RACE_OPTIMISTIC_READ, which
+// re-validates the version/sequence word inside the detector's mutex and
+// labels the synthesized acquire/release pair ("redo.validate" /
+// "seqlock.validate").
 #pragma once
 
 #ifdef ROMULUS_RACECHECK
@@ -36,7 +39,8 @@ void race_thread_acquire(const void* obj, const char* label, int tid);
 void race_thread_release(const void* obj, const char* label, int tid);
 bool race_optimistic_read(const void* stripe, const void* addr,
                           std::size_t len, std::uint64_t observed,
-                          const std::atomic<std::uint64_t>* lock_word);
+                          const std::atomic<std::uint64_t>* lock_word,
+                          const char* label);
 void race_set_tx(const char* kind);
 void race_register_region(const void* base, std::size_t size,
                           const char* name, const char* part,
@@ -74,9 +78,10 @@ struct ScopedRelease {
     ::romulus::analysis::race_thread_acquire((obj), (label), (tid))
 #define ROMULUS_RACE_THREAD_RELEASE(obj, label, tid) \
     ::romulus::analysis::race_thread_release((obj), (label), (tid))
-#define ROMULUS_RACE_OPTIMISTIC_READ(stripe, addr, len, observed, lock_word) \
+#define ROMULUS_RACE_OPTIMISTIC_READ(stripe, addr, len, observed, lock_word, \
+                                     label)                                  \
     ::romulus::analysis::race_optimistic_read((stripe), (addr), (len),       \
-                                              (observed), (lock_word))
+                                              (observed), (lock_word), (label))
 #define ROMULUS_RACE_TX_BEGIN(kind) ::romulus::analysis::race_set_tx((kind))
 #define ROMULUS_RACE_TX_END() ::romulus::analysis::race_set_tx(nullptr)
 #define ROMULUS_RACE_SCOPED_TX(kind) \
@@ -97,7 +102,8 @@ struct ScopedRelease {
 #define ROMULUS_RACE_RELEASE(obj, label) ((void)0)
 #define ROMULUS_RACE_THREAD_ACQUIRE(obj, label, tid) ((void)0)
 #define ROMULUS_RACE_THREAD_RELEASE(obj, label, tid) ((void)0)
-#define ROMULUS_RACE_OPTIMISTIC_READ(stripe, addr, len, observed, lock_word) \
+#define ROMULUS_RACE_OPTIMISTIC_READ(stripe, addr, len, observed, lock_word, \
+                                     label)                                  \
     (true)
 #define ROMULUS_RACE_TX_BEGIN(kind) ((void)0)
 #define ROMULUS_RACE_TX_END() ((void)0)

@@ -242,6 +242,12 @@ class RedoLogPTM {
             f();
             return;
         }
+        // TL2 reads are optimistic by construction; ReadConfig's
+        // force-pessimistic A/B knob serialises them through the fallback
+        // mutex instead (no concurrent writer -> first attempt validates).
+        std::unique_lock<std::mutex> pess;
+        if (!read_config().optimistic)
+            pess = std::unique_lock(s.fallback_mutex);
         int retries = 0;
         while (true) {
             tx_begin(/*read_only=*/true);
@@ -525,7 +531,7 @@ class RedoLogPTM {
         // inside its own mutex; a concurrent lock/version change means the
         // event order would be unsound — abort and retry instead.
         if (!ROMULUS_RACE_OPTIMISTIC_READ(&lk, reinterpret_cast<const void*>(wa),
-                                          8, l1, &lk))
+                                          8, l1, &lk, "redo.validate"))
             abort_tx();
         return v;
     }

@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <shared_mutex>
 #include <stdexcept>
@@ -31,6 +32,8 @@
 #include "core/persist.hpp"
 #include "pmem/flush.hpp"
 #include "pmem/region.hpp"
+#include "sync/seqlock.hpp"
+#include "sync/spinlock.hpp"
 
 namespace romulus::baselines {
 
@@ -111,6 +114,17 @@ class UndoLogPTM {
     template <typename T>
     static T pload(const T* addr) {
         T v = *addr;  // undo log mutates in place: no load redirection
+        if (tl.opt_active) {
+            // Seqlock fast path: per-load validation, exactly as in the
+            // Romulus engines (DESIGN.md §4.9) — a torn value is rejected
+            // before the closure can use it.
+            if (!s.seq.validate(tl.opt_seq)) throw sync::OptimisticAbort{};
+            if (!ROMULUS_RACE_OPTIMISTIC_READ(&s.seq, addr, sizeof(T),
+                                              tl.opt_seq, s.seq.word(),
+                                              "seqlock.validate"))
+                throw sync::OptimisticAbort{};
+            return v;
+        }
         ROMULUS_RACE_READ(addr, sizeof(T));
         return v;
     }
@@ -171,10 +185,14 @@ class UndoLogPTM {
 
     template <typename F>
     static void readTx(F&& f) {
-        if (tl.tx_depth > 0) {
+        if (tl.tx_depth > 0 || tl.opt_active) {  // flat nesting
             f();
             return;
         }
+        // Seqlock fast path (DESIGN.md §4.9): the writer bumps s.seq around
+        // its logging window, so a validated speculative reader never takes
+        // the shared mutex at all.
+        if (read_config().optimistic && try_optimistic_read(f)) return;
         std::shared_lock lk(s.mutex);
         ROMULUS_RACE_ACQUIRE(&s.mutex, "undo.read_lock");
         ROMULUS_RACE_SCOPED_RELEASE(&s.mutex, "undo.read_unlock");
@@ -257,8 +275,15 @@ class UndoLogPTM {
     static uint8_t* log_base() { return reinterpret_cast<uint8_t*>(s.log); }
     static size_t log_size() { return s.log_capacity * sizeof(LogEntry); }
 
+    /// Test hook: the optimistic-read sequence word (DESIGN.md §4.9),
+    /// exposed so fixtures can simulate a writer window without a thread.
+    static sync::SeqLock& seq_for_tests() { return s.seq; }
+
     /// Test hook: clear transaction thread-locals after a simulated crash.
-    static void crash_reset_for_tests() { tl = TlState{}; }
+    static void crash_reset_for_tests() {
+        tl = TlState{};
+        s.seq.set_for_tests(0);  // a crash mid-tx left the window odd
+    }
 
     /// Crash recovery: an interrupted transaction left entries in the log;
     /// apply them in reverse to restore the pre-transaction state.
@@ -310,6 +335,7 @@ class UndoLogPTM {
         HeapMeta* meta = nullptr;
         Alloc alloc;
         std::shared_timed_mutex mutex;
+        sync::SeqLock seq;  // optimistic-read window (DESIGN.md §4.9)
         bool initialized = false;
     };
     static State s;
@@ -317,8 +343,57 @@ class UndoLogPTM {
     struct TlState {
         int tx_depth = 0;
         uint64_t entries_this_tx = 0;
+        bool opt_active = false;  ///< inside a seqlock-validated read attempt
+        uint64_t opt_seq = 0;     ///< the attempt's sequence snapshot
     };
     static thread_local TlState tl;
+
+    /// Mirror of RomulusEngine::try_optimistic_read over the single global
+    /// heap: bounded validated attempts at running `f` with no lock traffic
+    /// and no fences; false sends the caller to the shared mutex.
+    template <typename F>
+    static bool try_optimistic_read(F& f) {
+        ReadStats& rs = tl_read_stats();
+        unsigned spins = 0;
+        for (unsigned left = read_config().max_attempts; left > 0; --left) {
+            const uint64_t sq = s.seq.read_begin();
+            if (sq & 1) {  // a writer is inside its window right now
+                rs.opt_aborts++;
+                sync::spin_wait(spins);
+                continue;
+            }
+            tl.opt_active = true;
+            tl.opt_seq = sq;
+            ROMULUS_RACE_TX_BEGIN("read-tx(opt)");
+            bool valid;
+            try {
+                f();
+                valid = s.seq.validate(sq);  // covers raw byte reads in f
+            } catch (const sync::OptimisticAbort&) {
+                valid = false;
+            } catch (...) {
+                tl.opt_active = false;
+                ROMULUS_RACE_TX_END();
+                if (s.seq.validate(sq)) {
+                    rs.opt_commits++;
+                    throw;  // genuine user exception off a valid snapshot
+                }
+                rs.opt_aborts++;
+                sync::spin_wait(spins);
+                continue;
+            }
+            tl.opt_active = false;
+            ROMULUS_RACE_TX_END();
+            if (valid) {
+                rs.opt_commits++;
+                return true;
+            }
+            rs.opt_aborts++;
+            sync::spin_wait(spins);
+        }
+        rs.fallbacks++;
+        return false;
+    }
 
     static bool in_heap(const void* ptr) {
         auto u = reinterpret_cast<uintptr_t>(ptr);
@@ -373,6 +448,11 @@ class UndoLogPTM {
     static void begin_tx_body() {
         tl.entries_this_tx = 0;
         tx_begin_hook();
+        // Open the optimistic-read window before the first in-place store
+        // can become visible (the undo log mutates the live heap mid-tx, so
+        // the whole transaction body is the readers' exclusion window).
+        s.seq.write_enter();
+        ROMULUS_RACE_ACQUIRE(&s.seq, "seqlock.write_enter");
         ROMULUS_RACE_TX_BEGIN("update-tx");
     }
 
@@ -384,6 +464,10 @@ class UndoLogPTM {
         pmem::pfence();  // all in-place pwbs complete before truncation
         truncate_log();
         pmem::psync();
+        // Close the window only after the commit psync: a validated
+        // speculative reader has read durable, committed state.
+        ROMULUS_RACE_RELEASE(&s.seq, "seqlock.write_exit");
+        s.seq.write_exit();
         tx_commit_hook();
         ROMULUS_RACE_TX_END();
     }
@@ -400,6 +484,10 @@ class UndoLogPTM {
         pmem::pfence();
         truncate_log();
         pmem::psync();
+        // The rollback stores above mutate the heap: the window stays odd
+        // until the pre-transaction state is fully restored.
+        ROMULUS_RACE_RELEASE(&s.seq, "seqlock.write_exit");
+        s.seq.write_exit();
         tx_abort_hook();
         ROMULUS_RACE_TX_END();
     }

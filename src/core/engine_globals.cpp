@@ -31,6 +31,16 @@ void count_tx_commit() { g_tx_commits.fetch_add(1, std::memory_order_relaxed); }
 void count_tx_abort() { g_tx_aborts.fetch_add(1, std::memory_order_relaxed); }
 }  // namespace detail
 
+ReadConfig& read_config() {
+    static ReadConfig cfg;
+    return cfg;
+}
+
+ReadStats& tl_read_stats() {
+    thread_local ReadStats stats;
+    return stats;
+}
+
 size_t default_heap_bytes() {
     if (const char* mb = std::getenv("ROMULUS_HEAP_MB")) {
         long v = std::atol(mb);

@@ -33,6 +33,33 @@ inline constexpr bool kPersistGraphEnabled = true;
 inline constexpr bool kPersistGraphEnabled = false;
 #endif
 
+/// Runtime knobs for the optimistic (seqlock-validated) read path
+/// (DESIGN.md §4.9).  Process-wide, read on every readTx; mutate only from
+/// quiescent test/bench setup code.
+struct ReadConfig {
+    /// Master switch: false forces every readTx onto the pessimistic
+    /// C-RW-WP reader-lock path (the pre-§4.9 behaviour) — the A/B control
+    /// for bench_fig7_readers and for workloads whose read closures are not
+    /// safely re-executable.
+    bool optimistic = true;
+    /// Optimistic attempts (including the first) before a readTx gives up
+    /// and falls back to the reader lock.  Bounded, so a reader never
+    /// starves behind a stream of writers: the fallback inherits C-RW-WP's
+    /// starvation freedom.
+    unsigned max_attempts = 4;
+};
+ReadConfig& read_config();
+
+/// Per-thread outcome counters for the optimistic read path.  Thread-local
+/// so the read fast path never touches a shared cache line.
+struct ReadStats {
+    uint64_t opt_commits = 0;  ///< readTx completed on the fast path
+    uint64_t opt_aborts = 0;   ///< attempts invalidated by a writer (retried)
+    uint64_t fallbacks = 0;    ///< readTx that took the pessimistic lock
+};
+ReadStats& tl_read_stats();
+inline void reset_tl_read_stats() { tl_read_stats() = ReadStats{}; }
+
 /// Process-wide transaction-lifecycle counters, aggregated across all
 /// engines.  Cheap (relaxed atomics); mostly useful to sanity-check that the
 /// lifecycle instrumentation fires for every engine under test.

@@ -52,6 +52,7 @@
 #include "sync/crwwp.hpp"
 #include "sync/flat_combining.hpp"
 #include "sync/left_right.hpp"
+#include "sync/seqlock.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/thread_registry.hpp"
 
@@ -187,6 +188,23 @@ class RomulusEngine {
     template <typename T>
     static T pload(const T* addr) {
         T v = *addr;
+        if constexpr (!Traits::kUseLR) {
+            if (tl.opt_active) {
+                // Seqlock fast path (§4.9): validate after EVERY load,
+                // before the value can be used — a torn pointer is rejected
+                // here, so the closure can never dereference one.  The
+                // acquire fence inside validate() is a compiler/CPU fence
+                // only; no persistence fence, pwb or lock traffic.
+                Shard& sh = current_shard();
+                if (!sh.seq.validate(tl.opt_seq))
+                    throw sync::OptimisticAbort{};
+                if (!ROMULUS_RACE_OPTIMISTIC_READ(&sh.seq, addr, sizeof(T),
+                                                  tl.opt_seq, sh.seq.word(),
+                                                  "seqlock.validate"))
+                    throw sync::OptimisticAbort{};
+                return v;
+            }
+        }
         // The event carries the address actually dereferenced: for an LR
         // back-region reader the caller's addr already points into back
         // (only the loaded *value* gets shifted below).
@@ -260,6 +278,14 @@ class RomulusEngine {
         if constexpr (Traits::kUseLog) {
             sh.log.begin_tx(full_copy_threshold(sh));
         }
+        if constexpr (!Traits::kUseLR) {
+            // Open the optimistic-read window (seq -> odd) before the first
+            // in-place mutation of main can become visible (§4.9).  The
+            // detector-side acquire joins previous readers' validate
+            // releases, ordering their reads before this writer's stores.
+            sh.seq.write_enter();
+            ROMULUS_RACE_ACQUIRE(&sh.seq, "seqlock.write_enter");
+        }
         store_state(sh, MUT);
         pmem::pwb(&sh.hdr->state);
         pmem::pfence();
@@ -300,6 +326,15 @@ class RomulusEngine {
             pmem::pwb(&sh.hdr->state);
             pmem::psync();  // ACID durability point for this shard's main
         }
+        if constexpr (!Traits::kUseLR) {
+            // Close the optimistic-read window (seq -> even) only now, after
+            // the psync above: a validated reader must have seen *durable*
+            // state.  Closing before copy_main_to_back lets readers overlap
+            // the whole back-replication phase — the bulk of writer
+            // occupancy — which pessimistic readers wait out (§4.9).
+            ROMULUS_RACE_RELEASE(&sh.seq, "seqlock.write_exit");
+            sh.seq.write_exit();
+        }
         if constexpr (Traits::kUseLR) {
             // Publish: new readers go to main while we refresh back.
             sh.lr.set_read_region(sync::LeftRight::kReadMain);
@@ -334,6 +369,12 @@ class RomulusEngine {
         store_state(sh, IDL);
         pmem::pwb(&sh.hdr->state);
         pmem::psync();
+        if constexpr (!Traits::kUseLR) {
+            // The window stays odd across copy_back_to_main — the rollback
+            // mutates main in place, exactly like the MUT body did.
+            ROMULUS_RACE_RELEASE(&sh.seq, "seqlock.write_exit");
+            sh.seq.write_exit();
+        }
         tx_abort_hook();
         ROMULUS_RACE_TX_END();
     }
@@ -378,7 +419,10 @@ class RomulusEngine {
                 }
                 writer_unlock(sh);
                 if (sh.fc.is_done(t)) return;
-                continue;  // extremely unlikely: re-announce race; retry
+                // Extremely unlikely: lost a re-announce race.  Fall through
+                // to the shared backoff instead of hot-looping straight back
+                // onto the lock — on retry this thread behaves like any
+                // other waiter.
             }
             sync::spin_wait(spins);
         }
@@ -427,6 +471,15 @@ class RomulusEngine {
                                                       : "read-tx(main)");
             f();
         } else {
+            // Seqlock fast path (§4.9): run the closure directly on main
+            // with no lock traffic, no read-indicator arrival and no fences,
+            // validated against the shard's sequence word.  Falls back to
+            // the C-RW-WP reader lock after max_attempts, so progress is
+            // never worse than the pessimistic path.
+            if (read_config().optimistic && try_optimistic_read(sh, f)) {
+                tl.read_depth = 0;
+                return;
+            }
             struct Guard {
                 Shard& sh;
                 int t;
@@ -548,6 +601,11 @@ class RomulusEngine {
     static const void* used_size_addr(unsigned shard_id = 0) {
         return &shard(shard_id).hdr->used_size;
     }
+    /// Test hook: the shard's optimistic-read sequence word (§4.9), exposed
+    /// so fixtures can simulate a writer window without a second thread.
+    static sync::SeqLock& seq_for_tests(unsigned shard_id = 0) {
+        return shard(shard_id).seq;
+    }
 
     /// Flat-combining aggregation stats (§5.3: several announced updates
     /// execute inside one durable transaction, so the *average* number of
@@ -595,6 +653,7 @@ class RomulusEngine {
             new (&sh.rwlock) sync::CRWWPLock();
             new (&sh.lr_writer_lock) sync::SpinLock();
             new (&sh.lr) sync::LeftRight();
+            new (&sh.seq) sync::SeqLock();  // a crash mid-MUT left it odd
             new (&sh.fc) sync::FlatCombiningArray();
         }
     }
@@ -679,6 +738,7 @@ class RomulusEngine {
         sync::CRWWPLock rwlock;           // C-RW-WP variants
         sync::SpinLock lr_writer_lock;    // LR variant (readers use lr)
         sync::LeftRight lr;
+        sync::SeqLock seq;                // optimistic-read window (§4.9)
         sync::FlatCombiningArray fc;
         std::atomic<uint64_t> combines{0};      // combiner invocations
         std::atomic<uint64_t> combined_ops{0};  // operations they executed
@@ -702,6 +762,8 @@ class RomulusEngine {
         int read_depth = 0;
         size_t read_offset = 0;
         unsigned shard = 0;  ///< shard of the open tx / read tx
+        bool opt_active = false;  ///< inside a seqlock-validated read attempt
+        uint64_t opt_seq = 0;     ///< the attempt's sequence snapshot
     };
     static inline thread_local TlState tl{};
 
@@ -907,6 +969,65 @@ class RomulusEngine {
         pmem::psync();
     }
 
+    // --- optimistic read path (§4.9) ---------------------------------------
+
+    /// One-or-more seqlock-validated attempts at running `f` directly on
+    /// main.  Returns true when an attempt committed (or `f` threw a genuine
+    /// user exception off a still-valid snapshot — rethrown).  Returns false
+    /// when every attempt was invalidated by a concurrent writer: the caller
+    /// falls back to the pessimistic reader lock.  `f` may run multiple
+    /// times, so read closures must be restartable (docs/API.md).
+    template <typename F>
+    static bool try_optimistic_read(Shard& sh, F& f) {
+        ReadStats& rs = tl_read_stats();
+        unsigned spins = 0;
+        for (unsigned left = read_config().max_attempts; left > 0; --left) {
+            const uint64_t sq = sh.seq.read_begin();
+            if (sq & 1) {  // a writer is inside its window right now
+                rs.opt_aborts++;
+                sync::spin_wait(spins);
+                continue;
+            }
+            tl.opt_active = true;
+            tl.opt_seq = sq;
+            ROMULUS_RACE_TX_BEGIN("read-tx(opt)");
+            bool valid;
+            try {
+                f();
+                // Final check: interposed loads were validated one by one in
+                // pload(); this covers raw byte reads the closure did on its
+                // own (payload memcpy, string materialisation).
+                valid = sh.seq.validate(sq);
+            } catch (const sync::OptimisticAbort&) {
+                valid = false;
+            } catch (...) {
+                tl.opt_active = false;
+                ROMULUS_RACE_TX_END();
+                if (sh.seq.validate(sq)) {
+                    // Genuine user exception off a consistent snapshot.
+                    rs.opt_commits++;
+                    throw;
+                }
+                // The snapshot died mid-closure, so the exception may be an
+                // artifact of torn raw reads: retry instead of surfacing a
+                // phantom.
+                rs.opt_aborts++;
+                sync::spin_wait(spins);
+                continue;
+            }
+            tl.opt_active = false;
+            ROMULUS_RACE_TX_END();
+            if (valid) {
+                rs.opt_commits++;
+                return true;
+            }
+            rs.opt_aborts++;
+            sync::spin_wait(spins);
+        }
+        rs.fallbacks++;
+        return false;
+    }
+
     // --- combiner ----------------------------------------------------------
 
     static bool try_writer_lock(Shard& sh) {
@@ -932,13 +1053,30 @@ class RomulusEngine {
     static void combine(Shard& sh, unsigned shard_id) {
         begin_transaction(shard_id);
         int done[sync::kMaxThreads];
+        bool taken[sync::kMaxThreads] = {};
         int n = 0;
         try {
-            sh.fc.for_each_announced(
-                [&](int slot, sync::FlatCombiningArray::Op* op) {
-                    (*op)();
-                    done[n++] = slot;
-                });
+            auto drain = [&] {
+                int newly = 0;
+                sh.fc.for_each_announced(
+                    [&](int slot, sync::FlatCombiningArray::Op* op) {
+                        if (taken[slot]) return;  // executed in a prior scan
+                        taken[slot] = true;
+                        (*op)();
+                        done[n++] = slot;
+                        ++newly;
+                    });
+                return newly;
+            };
+            drain();
+            // Re-scan window: operations announced while the first batch
+            // executed join the same durable transaction instead of paying
+            // their own MUT/CPY fence pair — bounded so the combiner's own
+            // latency stays bounded under a steady announce stream.
+            for (unsigned r = pmem::commit_config().combine_rescans; r > 0;
+                 --r) {
+                if (drain() == 0) break;
+            }
         } catch (...) {
             // An announced operation threw (e.g. heap exhaustion): roll the
             // whole combined transaction back — back still holds the
@@ -953,6 +1091,7 @@ class RomulusEngine {
         for (int i = 0; i < n; ++i) sh.fc.mark_done(done[i]);
         sh.combines.fetch_add(1, std::memory_order_relaxed);
         sh.combined_ops.fetch_add(uint64_t(n), std::memory_order_relaxed);
+        if (n > 0) pmem::tl_commit_stats().note_combine_batch(unsigned(n));
     }
 };
 

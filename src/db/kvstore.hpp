@@ -108,9 +108,11 @@ class KVStore {
     bool get(std::string_view key, std::string* value_out) const {
         bool found = false;
         PTM::readTx([&] {
+            // Unconditional (re)assignment: optimistic readTx may re-run
+            // this closure, so outputs must not leak a previous attempt.
             const Node* n = find(key);
+            found = (n != nullptr);
             if (n == nullptr) return;
-            found = true;
             if (value_out != nullptr) {
                 const char* vb = n->val_buf.pload();
                 value_out->assign(vb, n->val_len.pload());

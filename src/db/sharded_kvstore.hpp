@@ -103,7 +103,11 @@ class ShardedKVStore {
     uint64_t size() const {
         uint64_t n = 0;
         for (unsigned sd = 0; sd < nshards_; ++sd) {
-            PTM::readTx(sd, [&] { n += stores_[sd]->size(); });
+            // Accumulate outside the closure: optimistic readTx may re-run
+            // it, and `n +=` inside would double-count retried attempts.
+            uint64_t part = 0;
+            PTM::readTx(sd, [&] { part = stores_[sd]->size(); });
+            n += part;
         }
         return n;
     }

@@ -83,6 +83,7 @@ class FixedHashMap {
     int64_t get(const K& key_, void* out, uint32_t capacity) const {
         int64_t got = -1;
         PTM::readTx([&] {
+            got = -1;  // restartable: optimistic readTx may re-run f
             const Node* n = find(key_);
             if (n == nullptr) return;
             const uint32_t vs = n->vsize.pload();

@@ -93,6 +93,7 @@ class HashMap {
     bool contains(const K& key_) const {
         bool found = false;
         PTM::readTx([&] {
+            found = false;  // restartable: optimistic readTx may re-run f
             const uint64_t nb = nbuckets.pload();
             p<Node*>* b = buckets.pload();
             for (Node* n = b[hash(key_) % nb].pload(); n != nullptr;
@@ -133,6 +134,7 @@ class HashMap {
     bool check_invariants() const {
         bool ok = true;
         PTM::readTx([&] {
+            ok = true;  // restartable: optimistic readTx may re-run f
             const uint64_t nb = nbuckets.pload();
             p<Node*>* b = buckets.pload();
             uint64_t n = 0;

@@ -104,6 +104,7 @@ class LinkedListSet {
     bool check_invariants() const {
         bool ok = true;
         PTM::readTx([&] {
+            ok = true;  // restartable: optimistic readTx may re-run f
             uint64_t n = 0;
             Node* t = tail_value();
             Node* prev = nullptr;

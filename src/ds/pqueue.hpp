@@ -76,6 +76,7 @@ class PQueue {
     std::optional<T> front() const {
         std::optional<T> out;
         PTM::readTx([&] {
+            out.reset();  // restartable: optimistic readTx may re-run f
             Node* first = head.pload()->next.pload();
             if (first != nullptr) out = first->value.pload();
         });
@@ -102,6 +103,7 @@ class PQueue {
     bool check_invariants() const {
         bool ok = true;
         PTM::readTx([&] {
+            ok = true;  // restartable: optimistic readTx may re-run f
             uint64_t n = 0;
             Node* last = head.pload();
             for (Node* cur = last->next.pload(); cur != nullptr;

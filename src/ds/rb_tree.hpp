@@ -112,6 +112,7 @@ class RBTree {
     bool check_invariants() const {
         bool ok = true;
         PTM::readTx([&] {
+            ok = true;  // restartable: optimistic readTx may re-run f
             Node* NIL = nil.pload();
             Node* r = root.pload();
             if (r != NIL && r->color.pload() != kBlack) {

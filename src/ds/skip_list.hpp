@@ -122,6 +122,7 @@ class SkipListSet {
     bool check_invariants() const {
         bool ok = true;
         PTM::readTx([&] {
+            ok = true;  // restartable: optimistic readTx may re-run f
             uint64_t n = 0;
             Node* prev = nullptr;
             for (Node* cur = head.pload()->tower()[0].pload(); cur != nullptr;

@@ -102,6 +102,12 @@ struct CommitConfig {
     /// SIZE_MAX) use cached stores + per-line pwb.  NT stores bypass the
     /// cache, so tiny hot runs are better left cacheable.
     size_t nt_threshold = 4 * kCacheLineSize;
+    /// Extra flat-combining scans a combiner runs before committing:
+    /// operations announced while the previous scan executed join the same
+    /// durable transaction (one MUT/CPY fence pair for the whole batch).
+    /// 0 restores the single-scan combiner; each re-scan is bounded by the
+    /// announce-slot count, so combiner latency stays bounded.
+    unsigned combine_rescans = 1;
 };
 CommitConfig& commit_config();
 

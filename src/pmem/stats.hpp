@@ -68,6 +68,18 @@ struct CommitStats {
     /// record_in) rather than on the hot path; stays 0 unless an analysis
     /// run deposits its diagnostic here.
     uint64_t redundant_pwbs = 0;
+    /// Flat-combining batch-size histogram: bucket b counts combined
+    /// transactions whose batch held (2^(b-1), 2^b] announced operations
+    /// (bucket 0 = singletons, bucket 7 = everything above 64).  Shows how
+    /// much fence amortisation the combiner — including its re-scan window
+    /// (CommitConfig::combine_rescans) — actually delivered.
+    uint64_t combine_hist[8] = {};
+
+    void note_combine_batch(unsigned ops) {
+        unsigned b = 0;
+        while (b < 7 && (1u << b) < ops) ++b;
+        combine_hist[b]++;
+    }
 
     /// Lines whose individual memcpy/pwb dispatch was avoided by merging.
     uint64_t lines_merged() const { return lines_logged - runs; }

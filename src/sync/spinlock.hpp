@@ -23,9 +23,13 @@ inline void cpu_relax() {
 #endif
 }
 
-/// One spin iteration that stays friendly when HW threads are scarce.
+/// One spin iteration that stays friendly when HW threads are scarce.  The
+/// counter saturates at the yield threshold instead of growing without
+/// bound: a long wait (billions of iterations) must keep yielding, not wrap
+/// around to the pause phase.
 inline void spin_wait(unsigned& spins) {
-    if (++spins < 64) {
+    if (spins < 64) {
+        ++spins;
         cpu_relax();
     } else {
         std::this_thread::yield();

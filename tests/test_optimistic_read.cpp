@@ -1,0 +1,573 @@
+// Seqlock-validated optimistic read path (DESIGN.md §4.9, ISSUE 8).
+//
+// Coverage layers:
+//   1. Zero-cost property: an optimistic read commits with zero pwbs, zero
+//      persistence fences (engine counters AND the SimPersistence fence
+//      counter) and no lock traffic observable through the read stats.
+//   2. Protocol mechanics, made deterministic through the engines'
+//      seq_for_tests() hook: an odd window sends the reader to the
+//      pessimistic lock after max_attempts; a mid-closure invalidation
+//      retries; a torn pointer is rejected by per-load validation *before*
+//      anything dereferences it.
+//   3. Concurrency: reader/writer churn must never surface a torn snapshot,
+//      and the every-fence crash sweep re-runs the commit-path crash
+//      discipline with a concurrent optimistic reader attached.
+//   4. The sequence word survives the 64-bit wrap (equality validation).
+//   5. Under -DROMULUS_RACECHECK, the churn workload runs with the romrace
+//      detector armed and must stay silent (the seqlock.validate /
+//      seqlock.write_enter / seqlock.write_exit annotations model a sound
+//      happens-before edge).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/race_detector.hpp"
+#include "pmem/sim_persistence.hpp"
+#include "ptm_types.hpp"
+#include "sync/seqlock.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+
+namespace {
+
+/// RAII: optimistic-read tuning for the duration of a test.
+struct ReadConfigGuard {
+    ReadConfig saved = read_config();
+    ~ReadConfigGuard() { read_config() = saved; }
+};
+
+// The engines with a seqlock fast path: the C-RW-WP Romulus variants plus
+// the undo-log baseline.  RomulusLR readers are already wait-free through
+// Left-Right and bypass the seqlock entirely; the redo-log baseline has its
+// own TL2-style optimistic reads (covered below for the force-pessimistic
+// knob only).
+using SeqlockPtms =
+    ::testing::Types<RomulusNL, RomulusLog, baselines::UndoLogPTM>;
+
+template <typename E>
+class OptimisticRead : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        reset_tl_read_stats();
+    }
+    void TearDown() override { pmem::set_sim_hooks(nullptr); }
+};
+
+TYPED_TEST_SUITE(OptimisticRead, SeqlockPtms);
+
+// Two counter cells the update transactions keep equal; the canonical
+// torn-snapshot witness for the readers.
+template <typename E>
+struct TwoCells {
+    using PU = typename E::template p<uint64_t>;
+    PU* c1 = nullptr;
+    PU* c2 = nullptr;
+
+    void create(uint64_t v) {
+        E::updateTx([&] {
+            c1 = E::template tmNew<PU>();
+            *c1 = v;
+            E::put_object(0, c1);
+            c2 = E::template tmNew<PU>();
+            *c2 = v;
+            E::put_object(1, c2);
+        });
+    }
+
+    void set(uint64_t v) {
+        E::updateTx([&] {
+            *c1 = v;
+            *c2 = v;
+        });
+    }
+};
+
+// ---------------------------------------------------- zero-cost fast path
+
+TYPED_TEST(OptimisticRead, CommitsWithZeroFencesAndZeroPwbs) {
+    using E = TypeParam;
+    test::EngineSession<E> session(16u << 20, "opt_zero");
+    TwoCells<E> cells;
+    cells.create(7);
+
+    // The SimPersistence fence counter is the acceptance-criterion witness:
+    // it counts pfence+psync from *any* thread, independent of tl_stats.
+    pmem::SimPersistence sim(E::region().base(), E::region().size(),
+                             {pmem::FlushContent::AtPwb, 0.0, 1});
+    pmem::set_sim_hooks(&sim);
+    const pmem::Stats before = pmem::tl_stats();
+    const uint64_t fences_before = sim.fence_count();
+    reset_tl_read_stats();
+
+    constexpr int kReads = 100;
+    for (int i = 0; i < kReads; ++i) {
+        uint64_t a = 0, b = 0;
+        E::readTx([&] {
+            a = cells.c1->pload();
+            b = cells.c2->pload();
+        });
+        ASSERT_EQ(a, 7u);
+        ASSERT_EQ(b, 7u);
+    }
+    pmem::set_sim_hooks(nullptr);
+
+    const pmem::Stats d = pmem::tl_stats() - before;
+    EXPECT_EQ(d.pwb, 0u);
+    EXPECT_EQ(d.pfence, 0u);
+    EXPECT_EQ(d.psync, 0u);
+    EXPECT_EQ(sim.fence_count(), fences_before);
+    const ReadStats& rs = tl_read_stats();
+    EXPECT_EQ(rs.opt_commits, uint64_t(kReads));
+    EXPECT_EQ(rs.opt_aborts, 0u);
+    EXPECT_EQ(rs.fallbacks, 0u);
+}
+
+TYPED_TEST(OptimisticRead, ForcePessimisticKnobDisablesTheFastPath) {
+    using E = TypeParam;
+    test::EngineSession<E> session(16u << 20, "opt_knob");
+    TwoCells<E> cells;
+    cells.create(11);
+
+    ReadConfigGuard guard;
+    read_config().optimistic = false;
+    reset_tl_read_stats();
+    uint64_t a = 0;
+    E::readTx([&] { a = cells.c1->pload(); });
+    EXPECT_EQ(a, 11u);
+    const ReadStats& rs = tl_read_stats();
+    EXPECT_EQ(rs.opt_commits, 0u);
+    EXPECT_EQ(rs.opt_aborts, 0u);
+    EXPECT_EQ(rs.fallbacks, 0u);  // never attempted, so never "fell back"
+}
+
+// ------------------------------------------------- deterministic protocol
+
+TYPED_TEST(OptimisticRead, OddWindowFallsBackToThePessimisticLock) {
+    using E = TypeParam;
+    test::EngineSession<E> session(16u << 20, "opt_odd");
+    TwoCells<E> cells;
+    cells.create(42);
+
+    ReadConfigGuard guard;
+    read_config().max_attempts = 3;
+    // Simulate a writer parked mid-transaction: window open, lock free (so
+    // the fallback acquires immediately instead of deadlocking the test).
+    E::seq_for_tests().write_enter();
+    reset_tl_read_stats();
+    uint64_t got = 0;
+    E::readTx([&] {
+        got = 0;  // restartable
+        got = cells.c1->pload();
+    });
+    E::seq_for_tests().write_exit();
+
+    EXPECT_EQ(got, 42u);
+    const ReadStats& rs = tl_read_stats();
+    EXPECT_EQ(rs.opt_aborts, 3u);  // every attempt saw the odd word
+    EXPECT_EQ(rs.fallbacks, 1u);
+    EXPECT_EQ(rs.opt_commits, 0u);
+}
+
+TYPED_TEST(OptimisticRead, MidClosureInvalidationRetriesAndCommits) {
+    using E = TypeParam;
+    test::EngineSession<E> session(16u << 20, "opt_retry");
+    TwoCells<E> cells;
+    cells.create(5);
+
+    reset_tl_read_stats();
+    bool first = true;
+    uint64_t got = 0;
+    E::readTx([&] {
+        got = 0;  // restartable
+        if (first) {
+            // A full writer window opens and closes between this attempt's
+            // snapshot and its first validated load.
+            first = false;
+            E::seq_for_tests().write_enter();
+            E::seq_for_tests().write_exit();
+        }
+        got = cells.c1->pload();
+    });
+
+    EXPECT_EQ(got, 5u);
+    const ReadStats& rs = tl_read_stats();
+    EXPECT_EQ(rs.opt_aborts, 1u);
+    EXPECT_EQ(rs.opt_commits, 1u);
+    EXPECT_EQ(rs.fallbacks, 0u);
+}
+
+TYPED_TEST(OptimisticRead, TornPointerIsRejectedBeforeDereference) {
+    using E = TypeParam;
+    using PU = typename E::template p<uint64_t>;
+    using PP = typename E::template p<PU*>;
+    test::EngineSession<E> session(16u << 20, "opt_torn");
+
+    PU* target = nullptr;
+    PP* cell = nullptr;
+    E::updateTx([&] {
+        target = E::template tmNew<PU>();
+        *target = 99;
+        cell = E::template tmNew<PP>();
+        *cell = target;
+        E::put_object(0, cell);
+    });
+
+    ReadConfigGuard guard;
+    read_config().max_attempts = 3;
+    reset_tl_read_stats();
+
+    // The classic seqlock hazard, staged deterministically: mid-attempt the
+    // pointer cell is scribbled with garbage under an open window.  The
+    // per-load validation in pload() must throw before the garbage pointer
+    // can reach the dereference below — if it ever leaks out, the test
+    // crashes on the bogus address.
+    auto* raw = reinterpret_cast<uint64_t*>(cell);
+    const uint64_t good_bits = *raw;
+    bool scribbled = false;
+    bool first = true;
+    uint64_t got = 0;
+    E::readTx([&] {
+        got = 0;  // restartable
+        if (scribbled) {
+            // Pessimistic rerun after the fallback: undo the sabotage (the
+            // parked "writer" rolls back) so the real pointer is live again.
+            *raw = good_bits;
+            E::seq_for_tests().write_exit();
+            scribbled = false;
+        } else if (first) {
+            first = false;
+            scribbled = true;
+            E::seq_for_tests().write_enter();
+            *raw = 0xDEADBEEFDEADBEEFull;
+        }
+        PU* p = cell->pload();  // throws OptimisticAbort on the torn attempt
+        got = p->pload();
+    });
+
+    EXPECT_EQ(got, 99u);
+    const ReadStats& rs = tl_read_stats();
+    // Attempt 1 aborted mid-closure on the torn load; attempts 2 and 3 saw
+    // the still-odd word; then the pessimistic rerun repaired and committed.
+    EXPECT_EQ(rs.opt_aborts, 3u);
+    EXPECT_EQ(rs.fallbacks, 1u);
+    EXPECT_EQ(rs.opt_commits, 0u);
+}
+
+// ------------------------------------------------------------ churn check
+
+/// Reader/writer churn: writers keep the two cells equal inside one
+/// transaction; a reader that ever returns a != b has surfaced a torn
+/// snapshot.  Shared by the plain and the racecheck-armed suites.
+template <typename E>
+void run_churn(int writer_txs) {
+    test::EngineSession<E> session(16u << 20, "opt_churn");
+    TwoCells<E> cells;
+    cells.create(0);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> bad{0};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> opt_commits{0};
+    std::thread reader([&] {
+        reset_tl_read_stats();
+        while (!stop.load(std::memory_order_acquire)) {
+            uint64_t a = 0, b = 0;
+            E::readTx([&] {
+                a = 0;
+                b = 0;  // restartable
+                a = cells.c1->pload();
+                b = cells.c2->pload();
+            });
+            if (a != b) bad.fetch_add(1);
+            reads.fetch_add(1);
+        }
+        opt_commits.store(tl_read_stats().opt_commits);
+    });
+    for (int j = 1; j <= writer_txs; ++j) {
+        cells.set(uint64_t(j));
+        if (j % 16 == 0) std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(bad.load(), 0u) << "torn snapshot after " << reads.load()
+                              << " reads";
+    EXPECT_GT(reads.load(), 0u);
+    // Not asserted == reads: a read that lands inside a writer window may
+    // legitimately take the pessimistic lock.
+    EXPECT_LE(opt_commits.load(), reads.load());
+}
+
+TYPED_TEST(OptimisticRead, ChurnNeverSurfacesATornSnapshot) {
+    run_churn<TypeParam>(300);
+}
+
+// --------------------------------------------- redo-log baseline's knob
+
+TEST(OptimisticReadRedoLog, ForcePessimisticKnobSerializesReads) {
+    pmem::set_profile(pmem::Profile::NOP);
+    using E = baselines::RedoLogPTM;
+    test::EngineSession<E> session(16u << 20, "opt_redo");
+    using PU = E::p<uint64_t>;
+    PU* c = nullptr;
+    E::updateTx([&] {
+        c = E::tmNew<PU>();
+        *c = 21;
+        E::put_object(0, c);
+    });
+    ReadConfigGuard guard;
+    read_config().optimistic = false;
+    uint64_t got = 0;
+    E::readTx([&] { got = c->pload(); });
+    EXPECT_EQ(got, 21u);
+}
+
+// ------------------------------------------------------------ 64-bit wrap
+
+TEST(SeqLockUnit, SurvivesTheSequenceWrap) {
+    sync::SeqLock sl;
+    sl.set_for_tests(UINT64_MAX - 1);  // even, one window from the wrap
+    const uint64_t sq = sl.read_begin();
+    EXPECT_TRUE(sl.validate(sq));
+
+    sl.write_enter();  // UINT64_MAX: odd
+    EXPECT_EQ(sl.value() & 1, 1u);
+    EXPECT_FALSE(sl.validate(sq));
+
+    sl.write_exit();  // wraps to 0: even again
+    EXPECT_EQ(sl.value(), 0u);
+    EXPECT_FALSE(sl.validate(sq)) << "pre-wrap snapshot must stay dead";
+
+    const uint64_t sq2 = sl.read_begin();
+    EXPECT_EQ(sq2, 0u);
+    EXPECT_TRUE(sl.validate(sq2));
+}
+
+TEST(SeqLockUnit, ReadersSeeTheWindowEdges) {
+    sync::SeqLock sl;
+    const uint64_t sq = sl.read_begin();
+    EXPECT_EQ(sq & 1, 0u);
+    EXPECT_TRUE(sl.validate(sq));
+    sl.write_enter();
+    EXPECT_EQ(sl.read_begin() & 1, 1u);  // readers refuse to even start
+    sl.write_exit();
+    EXPECT_FALSE(sl.validate(sq)) << "a completed writer kills the snapshot";
+    EXPECT_TRUE(sl.validate(sl.read_begin()));
+}
+
+// --------------------------------------- crash sweep + concurrent reader
+
+struct CrashPoint {};
+
+/// SimPersistence wrapper that raises CrashPoint at the N-th fence — and
+/// publishes the crash to the reader thread *before* throwing, so the
+/// reader can stop asserting on a heap that is legitimately mid-recovery.
+class CrashingSim final : public pmem::SimHooks {
+  public:
+    CrashingSim(uint8_t* base, size_t size, pmem::SimPersistence::Options opts)
+        : inner_(base, size, opts) {}
+
+    uint64_t crash_at = UINT64_MAX;
+    std::atomic<bool>* crashed = nullptr;
+
+    void on_store(const void* a, size_t n) override { inner_.on_store(a, n); }
+    void on_pwb(const void* a) override { inner_.on_pwb(a); }
+    void on_fence() override {
+        inner_.on_fence();
+        if (inner_.fence_count() >= crash_at) {
+            if (crashed != nullptr)
+                crashed->store(true, std::memory_order_release);
+            throw CrashPoint{};
+        }
+    }
+
+    pmem::SimPersistence& model() { return inner_; }
+
+  private:
+    pmem::SimPersistence inner_;
+};
+
+/// The commit-path crash sweep with an optimistic reader attached: crash at
+/// every fence of the workload; the reader continuously validates the
+/// two-cell invariant and must never observe a torn snapshot while the
+/// engine is healthy.  After the crash the writer thread "dies" mid-commit
+/// (lock held, window odd), so the sweep releases the reader through
+/// crash_reset_for_tests() — the same volatile-state rebuild a restart does.
+template <typename E>
+void run_reader_crash_sweep() {
+    using PU = typename E::template p<uint64_t>;
+    const std::string path =
+        test::heap_path(std::string("opt_crash_") + E::name());
+    const size_t bytes = 12u << 20;
+    pmem::SimPersistence::Options opts{pmem::FlushContent::AtPwb, 0.0, 11};
+    constexpr int kTxs = 6;
+
+    // Setup + workload: cells kept equal inside each tx, plus a 512 B
+    // stripe store so the log/replication machinery is exercised.
+    auto run_txs = [](int upto) {
+        E::begin_transaction();
+        auto* c1 = E::template tmNew<PU>();
+        *c1 = 0u;
+        E::put_object(0, c1);
+        auto* c2 = E::template tmNew<PU>();
+        *c2 = 0u;
+        E::put_object(1, c2);
+        auto* buf = static_cast<uint8_t*>(E::alloc_bytes(2048));
+        E::zero_range(buf, 2048);
+        E::put_object(2, buf);
+        E::end_transaction();
+        int committed = 0;
+        for (int j = 0; j < upto; ++j) {
+            std::vector<uint8_t> pat(512, uint8_t(j + 1));
+            E::begin_transaction();
+            *c1 = uint64_t(j + 1);
+            E::store_range(buf + (j % 4) * 512, pat.data(), 512);
+            *c2 = uint64_t(j + 1);
+            E::end_transaction();
+            committed = j + 1;
+        }
+        return committed;
+    };
+
+    // Dry run: count the workload's fences.
+    std::remove(path.c_str());
+    E::init(bytes, path);
+    auto sim0 = std::make_unique<CrashingSim>(E::region().base(),
+                                              E::region().size(), opts);
+    pmem::set_sim_hooks(sim0.get());
+    run_txs(kTxs);
+    pmem::set_sim_hooks(nullptr);
+    const uint64_t total = sim0->model().fence_count();
+    sim0.reset();
+    E::destroy();
+    ASSERT_GT(total, 5u);
+
+    int crashes = 0;
+    for (uint64_t k = 1; k <= total; ++k) {
+        std::remove(path.c_str());
+        E::init(bytes, path);
+        CrashingSim sim(E::region().base(), E::region().size(), opts);
+        std::atomic<bool> crashed{false};
+        std::atomic<bool> stop{false};
+        std::atomic<uint64_t> bad{0};
+        sim.crash_at = k;
+        sim.crashed = &crashed;
+        pmem::set_sim_hooks(&sim);
+
+        std::thread reader([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                uint64_t a = 0, b = 0;
+                const bool pre = crashed.load(std::memory_order_acquire);
+                E::readTx([&] {
+                    a = 0;
+                    b = 0;  // restartable
+                    auto* p1 = E::template get_object<PU>(0);
+                    auto* p2 = E::template get_object<PU>(1);
+                    if (p1 == nullptr || p2 == nullptr) return;
+                    a = p1->pload();
+                    b = p2->pload();
+                });
+                // Only a read fully bracketed by a healthy engine asserts:
+                // post-crash the window word is force-reset under a torn
+                // main, which is exactly what recovery is for.
+                if (!pre && !crashed.load(std::memory_order_acquire) &&
+                    a != b)
+                    bad.fetch_add(1);
+            }
+        });
+
+        int completed = -1;
+        bool did_crash = false;
+        try {
+            completed = run_txs(kTxs);
+        } catch (const CrashPoint&) {
+            did_crash = true;
+        }
+        pmem::set_sim_hooks(nullptr);
+        // The "dead" writer left the lock held and the window odd; rebuild
+        // the volatile kit so a reader blocked in the fallback gets out.
+        if (did_crash) E::crash_reset_for_tests();
+        stop.store(true, std::memory_order_release);
+        reader.join();
+        EXPECT_EQ(bad.load(), 0u) << "torn snapshot at crash fence " << k;
+
+        if (did_crash) {
+            ++crashes;
+            sim.model().crash_restore();
+            E::close();
+            E::crash_reset_for_tests();
+            E::init(bytes, path);
+        }
+        auto* p1 = E::template get_object<PU>(0);
+        auto* p2 = E::template get_object<PU>(1);
+        if (p1 != nullptr && p2 != nullptr) {
+            const uint64_t v1 = p1->pload();
+            EXPECT_EQ(v1, p2->pload()) << "recovered cells diverge, k=" << k;
+            EXPECT_LE(v1, uint64_t(kTxs));
+            if (!did_crash) {
+                EXPECT_EQ(v1, uint64_t(completed));
+            }
+        } else {
+            EXPECT_TRUE(did_crash) << "creation tx lost without a crash";
+        }
+        E::destroy();
+        if (::testing::Test::HasFatalFailure()) return;
+    }
+    EXPECT_GT(crashes, 0);
+}
+
+template <typename E>
+class OptimisticReadCrash : public ::testing::Test {
+  protected:
+    void SetUp() override { pmem::set_profile(pmem::Profile::NOP); }
+    void TearDown() override { pmem::set_sim_hooks(nullptr); }
+};
+
+using CrwwpRomulusPtms = ::testing::Types<RomulusNL, RomulusLog>;
+TYPED_TEST_SUITE(OptimisticReadCrash, CrwwpRomulusPtms);
+
+TYPED_TEST(OptimisticReadCrash, EveryFenceCrashWithConcurrentReaders) {
+    run_reader_crash_sweep<TypeParam>();
+}
+
+// ------------------------------------------- racecheck-armed clean run
+
+#ifdef ROMULUS_RACECHECK
+// The churn workload with the romrace detector live: the optimistic read
+// path's annotations (seqlock.write_enter / seqlock.validate /
+// seqlock.write_exit) must model a sound happens-before edge — zero
+// reports across validated optimistic commits racing real writers.
+template <typename E>
+class OptimisticRaceArmed : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        auto& d = analysis::RaceDetector::instance();
+        d.reset();
+        d.enable();
+    }
+    void TearDown() override {
+        auto& d = analysis::RaceDetector::instance();
+        d.disable();
+        d.reset();
+        pmem::set_sim_hooks(nullptr);
+    }
+};
+
+TYPED_TEST_SUITE(OptimisticRaceArmed, SeqlockPtms);
+
+TYPED_TEST(OptimisticRaceArmed, ChurnStaysSilent) {
+    run_churn<TypeParam>(150);
+    auto& d = analysis::RaceDetector::instance();
+    EXPECT_EQ(d.race_count(), 0u) << d.report_text();
+}
+#endif  // ROMULUS_RACECHECK
+
+}  // namespace

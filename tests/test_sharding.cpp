@@ -191,7 +191,10 @@ TEST(ConcStressSharding, PerShardCountersStayExact) {
 
     uint64_t total = 0;
     for (unsigned sd = 0; sd < S; ++sd) {
-        E::readTx(sd, [&] { total += E::get_object<PU>(0, sd)->pload(); });
+        // Assign, don't accumulate: optimistic readTx may re-run the closure.
+        uint64_t part = 0;
+        E::readTx(sd, [&] { part = E::get_object<PU>(0, sd)->pload(); });
+        total += part;
         EXPECT_EQ(std::memcmp(E::main_base(sd), E::back_base(sd),
                               E::used_bytes(sd)),
                   0);
