@@ -215,7 +215,12 @@ class RedoLogPTM {
         }
         int retries = 0;
         while (true) {
-            const bool fallback = retries >= kFallbackRetries;
+            // Under the force-pessimistic A/B knob every writer routes
+            // through the fallback mutex, so a "pessimistic" reader holding
+            // it genuinely excludes all writers (readTx below) instead of
+            // only the rare fallback ones.
+            const bool fallback =
+                retries >= kFallbackRetries || !read_config().optimistic;
             std::unique_lock<std::mutex> flk;
             if (fallback) flk = std::unique_lock(s.fallback_mutex);
             tx_begin(/*read_only=*/false);
@@ -244,7 +249,9 @@ class RedoLogPTM {
         }
         // TL2 reads are optimistic by construction; ReadConfig's
         // force-pessimistic A/B knob serialises them through the fallback
-        // mutex instead (no concurrent writer -> first attempt validates).
+        // mutex instead, which updateTx also always takes when the knob is
+        // off — so no writer runs concurrently and the first attempt
+        // validates.
         std::unique_lock<std::mutex> pess;
         if (!read_config().optimistic)
             pess = std::unique_lock(s.fallback_mutex);

@@ -375,7 +375,7 @@ class UndoLogPTM {
                 tl.opt_active = false;
                 ROMULUS_RACE_TX_END();
                 if (s.seq.validate(sq)) {
-                    rs.opt_commits++;
+                    rs.opt_exception_exits++;
                     throw;  // genuine user exception off a valid snapshot
                 }
                 rs.opt_aborts++;

@@ -40,7 +40,10 @@ struct ReadConfig {
     /// Master switch: false forces every readTx onto the pessimistic
     /// C-RW-WP reader-lock path (the pre-§4.9 behaviour) — the A/B control
     /// for bench_fig7_readers and for workloads whose read closures are not
-    /// safely re-executable.
+    /// safely re-executable.  NOTE: the true default is a behavioural
+    /// contract change — read closures may now run multiple times, so
+    /// closures that accumulate into captured state must be made
+    /// restartable or opt out here (docs/API.md).
     bool optimistic = true;
     /// Optimistic attempts (including the first) before a readTx gives up
     /// and falls back to the reader lock.  Bounded, so a reader never
@@ -56,6 +59,9 @@ struct ReadStats {
     uint64_t opt_commits = 0;  ///< readTx completed on the fast path
     uint64_t opt_aborts = 0;   ///< attempts invalidated by a writer (retried)
     uint64_t fallbacks = 0;    ///< readTx that took the pessimistic lock
+    /// Read closures that exited via a user exception off a still-valid
+    /// snapshot (the exception propagates; not counted as a commit).
+    uint64_t opt_exception_exits = 0;
 };
 ReadStats& tl_read_stats();
 inline void reset_tl_read_stats() { tl_read_stats() = ReadStats{}; }

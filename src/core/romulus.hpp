@@ -476,9 +476,22 @@ class RomulusEngine {
             // validated against the shard's sequence word.  Falls back to
             // the C-RW-WP reader lock after max_attempts, so progress is
             // never worse than the pessimistic path.
-            if (read_config().optimistic && try_optimistic_read(sh, f)) {
-                tl.read_depth = 0;
-                return;
+            if (read_config().optimistic) {
+                bool committed;
+                try {
+                    committed = try_optimistic_read(sh, f);
+                } catch (...) {
+                    // Genuine user exception off a valid snapshot: the
+                    // attempt already closed its race-tx scope; clear the
+                    // depth too, or every later readTx on this thread would
+                    // run flat — no lock, no validation.
+                    tl.read_depth = 0;
+                    throw;
+                }
+                if (committed) {
+                    tl.read_depth = 0;
+                    return;
+                }
             }
             struct Guard {
                 Shard& sh;
@@ -1005,7 +1018,7 @@ class RomulusEngine {
                 ROMULUS_RACE_TX_END();
                 if (sh.seq.validate(sq)) {
                     // Genuine user exception off a consistent snapshot.
-                    rs.opt_commits++;
+                    rs.opt_exception_exits++;
                     throw;
                 }
                 // The snapshot died mid-closure, so the exception may be an

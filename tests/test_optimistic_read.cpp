@@ -203,6 +203,37 @@ TYPED_TEST(OptimisticRead, MidClosureInvalidationRetriesAndCommits) {
     EXPECT_EQ(rs.fallbacks, 0u);
 }
 
+TYPED_TEST(OptimisticRead, UserExceptionOffValidSnapshotLeavesNoResidue) {
+    using E = TypeParam;
+    test::EngineSession<E> session(16u << 20, "opt_throw");
+    TwoCells<E> cells;
+    cells.create(3);
+
+    reset_tl_read_stats();
+    struct Boom {};
+    EXPECT_THROW(E::readTx([&] {
+        (void)cells.c1->pload();
+        throw Boom{};
+    }),
+                 Boom);
+    const ReadStats& rs = tl_read_stats();
+    EXPECT_EQ(rs.opt_exception_exits, 1u);  // propagated, not a commit
+    EXPECT_EQ(rs.opt_commits, 0u);
+    EXPECT_EQ(rs.fallbacks, 0u);
+
+    // The thrown-through readTx must leave no thread-local residue: the
+    // next read still takes the validated fast path.  (A leaked read
+    // depth would send it down the flat-nesting branch — no lock, no
+    // validation, no stats — silently racing the writer.)
+    uint64_t a = 0;
+    E::readTx([&] {
+        a = 0;  // restartable
+        a = cells.c1->pload();
+    });
+    EXPECT_EQ(a, 3u);
+    EXPECT_EQ(rs.opt_commits, 1u);
+}
+
 TYPED_TEST(OptimisticRead, TornPointerIsRejectedBeforeDereference) {
     using E = TypeParam;
     using PU = typename E::template p<uint64_t>;
@@ -327,6 +358,48 @@ TEST(OptimisticReadRedoLog, ForcePessimisticKnobSerializesReads) {
     uint64_t got = 0;
     E::readTx([&] { got = c->pload(); });
     EXPECT_EQ(got, 21u);
+}
+
+TEST(OptimisticReadRedoLog, ForcePessimisticKnobExcludesWriters) {
+    pmem::set_profile(pmem::Profile::NOP);
+    using E = baselines::RedoLogPTM;
+    test::EngineSession<E> session(16u << 20, "opt_redo_excl");
+    using PU = E::p<uint64_t>;
+    PU* c = nullptr;
+    E::updateTx([&] {
+        c = E::tmNew<PU>();
+        *c = 0;
+        E::put_object(0, c);
+    });
+    ReadConfigGuard guard;
+    read_config().optimistic = false;
+
+    // With the knob off every writer routes through the fallback mutex, so
+    // a pessimistic reader (which holds it across its transaction) can
+    // never overlap a writer's closure — the overlap witness must stay 0.
+    std::atomic<bool> stop{false};
+    std::atomic<int> in_writer_tx{0};
+    std::atomic<uint64_t> overlaps{0};
+    std::thread writer([&] {
+        uint64_t v = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            E::updateTx([&] {
+                in_writer_tx.store(1, std::memory_order_release);
+                *c = ++v;
+                in_writer_tx.store(0, std::memory_order_release);
+            });
+        }
+    });
+    for (int i = 0; i < 2000; ++i) {
+        E::readTx([&] {
+            if (in_writer_tx.load(std::memory_order_acquire) != 0)
+                overlaps.fetch_add(1);
+            (void)c->pload();
+        });
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    EXPECT_EQ(overlaps.load(), 0u);
 }
 
 // ------------------------------------------------------------ 64-bit wrap
