@@ -14,7 +14,17 @@
 #             (including the seeded protocol-mutation fixtures), then the
 #             romver CLI end to end: clean run over all five engines plus
 #             both mutations under --expect-violations; reports land in
-#             build/check/persistgraph/romver-reports/
+#             build/check/persistgraph/romver-reports/.  Also runs romfuzz
+#             with the planted protocol mutations, which must produce a
+#             replayable repro bundle.
+#   fuzz      romfuzz leg (docs/romfuzz.md): seeded randomized histories
+#             over all five engines x {1,4} shards, every enumerated crash
+#             image recovered and model-checked, plus fork-and-crash
+#             episodes.  Fixed seed and bounded budgets keep it
+#             deterministic and fast; nightly runs raise the budget via
+#             ROMFUZZ_ITERS / ROMFUZZ_CRASHES.  Repro bundles from any
+#             failure land in build/check/fuzz/romfuzz-bundles/ (CI uploads
+#             them as artifacts).
 #
 # Each leg uses its own build directory (build/check/<leg>) so the matrix
 # never dirties the developer's ./build tree — and everything it writes
@@ -26,7 +36,7 @@ cd "$(dirname "$0")/.."
 NPROC=$(nproc 2>/dev/null || echo 4)
 CHECK_ROOT="build/check"
 LEGS=("$@")
-[ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan race persistgraph)
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(default werror asan tsan race persistgraph fuzz)
 
 configure_build() { # <dir> <cmake-flags...>
     local dir=$1
@@ -93,9 +103,26 @@ run_leg() {
             --report "$reports/mutate-elide-fence.txt"
         "$dir/tools/romver" --mutate reorder-state --expect-violations \
             --report "$reports/mutate-reorder-state.txt"
+        # The fuzzer must catch the planted protocol bugs too, and emit a
+        # replayable repro bundle for each (exit 1 if no violation found).
+        "$dir/tools/romfuzz" --engine log --shards 2 --iters 12 --seed 1 \
+            --mutate elide-fence --expect-violations \
+            --out "$reports/romfuzz-elide-fence"
+        "$dir/tools/romfuzz" --engine nl --shards 1 --iters 12 --seed 1 \
+            --mutate reorder-state --expect-violations \
+            --out "$reports/romfuzz-reorder-state"
+        ;;
+    fuzz)
+        configure_build "$dir"
+        local bundles="$dir/romfuzz-bundles"
+        mkdir -p "$bundles"
+        "$dir/tools/romfuzz" --engine all --shards 1,4 \
+            --iters "${ROMFUZZ_ITERS:-24}" --seed "${ROMFUZZ_SEED:-1}" \
+            --mode both --fork-crashes "${ROMFUZZ_CRASHES:-3}" \
+            --out "$bundles"
         ;;
     *)
-        echo "unknown leg: $leg (default|werror|asan|tsan|race|persistgraph)" >&2
+        echo "unknown leg: $leg (default|werror|asan|tsan|race|persistgraph|fuzz)" >&2
         return 2
         ;;
     esac

@@ -210,6 +210,54 @@ class PAllocator {
         return chunks == 0 ? 1 : chunks;  // 0 is the error code
     }
 
+    /// Defensive structural check of the free-list metadata, safe to run on
+    /// an arbitrarily corrupted heap (a recovered crash image, possibly from
+    /// a deliberately broken protocol mutation): every pointer is validated
+    /// for alignment and bounds BEFORE it is dereferenced and every list
+    /// walk is step-capped, so torn or garbage metadata yields `false`
+    /// instead of a wild dereference.  check_consistency() above assumes a
+    /// structurally sound heap; probe_allocator runs this first so a corrupt
+    /// image is reported as a violation rather than crashing the prober.
+    bool metadata_sane() const {
+        const uint64_t end = meta_->wilderness.pload();
+        if (end > pool_size_ || end % kAlign != 0) return false;
+        const size_t cap = pool_size_ / kMinChunk + 1;
+        const auto base = reinterpret_cast<uintptr_t>(pool_);
+        auto valid_chunk = [&](const Chunk* c) {
+            const auto a = reinterpret_cast<uintptr_t>(c);
+            if (a < base || a - base > end || end - (a - base) < kMinChunk)
+                return false;
+            if ((a - base) % kAlign != 0) return false;
+            const uint64_t sz = c->size();  // in bounds now; safe to read
+            return sz >= kMinChunk && sz % kAlign == 0 &&
+                   sz <= end - (a - base);
+        };
+        for (int b = 0; b < kNumBins; ++b) {
+            size_t steps = 0;
+            const Chunk* prev = nullptr;
+            for (const Chunk* c = meta_->bins[b].pload(); c != nullptr;
+                 prev = c, c = c->next_free.pload()) {
+                if (!valid_chunk(c) || c->in_use() || c->in_quick())
+                    return false;
+                if (bin_index(c->size()) != b) return false;
+                // unlink() writes through prev_free, so the back links must
+                // be sane too, not just the forward chain.
+                if (c->prev_free.pload() != prev) return false;
+                if (++steps > cap) return false;  // cycle
+            }
+        }
+        for (int qb = 0; qb < kQuickBins; ++qb) {
+            size_t steps = 0;
+            for (const Chunk* c = meta_->quick[qb].pload(); c != nullptr;
+                 c = c->next_free.pload()) {
+                if (!valid_chunk(c) || !c->in_quick()) return false;
+                if (quick_index(c->size()) != qb) return false;
+                if (++steps > cap) return false;
+            }
+        }
+        return true;
+    }
+
   private:
     static uint64_t chunk_size_for(size_t n) {
         uint64_t sz = ((n + kHeaderSize + kAlign - 1) / kAlign) * kAlign;

@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace romulus::analysis {
+
+void write_crash_image(const std::string& path,
+                       const std::vector<uint8_t>& image) {
+    std::ofstream f(path, std::ios::binary | std::ios::in);
+    if (!f)
+        throw std::runtime_error("write_crash_image: cannot reopen heap file " +
+                                 path);
+    f.write(reinterpret_cast<const char*>(image.data()),
+            std::streamsize(image.size()));
+    if (!f)
+        throw std::runtime_error("write_crash_image: image write failed for " +
+                                 path);
+}
 
 namespace {
 

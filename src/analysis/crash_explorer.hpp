@@ -21,7 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -77,5 +80,123 @@ ExploreReport explore_crash_images(const PersistGraph& graph,
                                    const PersistEventRecorder& rec,
                                    const CrashImageCheck& check,
                                    const ExploreOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Reusable recovery-image validation
+// ---------------------------------------------------------------------------
+//
+// The oracle glue every crash-image consumer needs, factored out of the
+// romver harness so romfuzz and test code share one implementation: write
+// the materialized image over the heap file, re-init the engine (running its
+// real recovery), then check the engine-structural invariants below.  Root
+// reachability / content oracles stay with the caller — only it knows what
+// the roots mean.
+
+/// Overwrite the heap file in place with a materialized crash image.
+/// Throws std::runtime_error if the file cannot be rewritten.
+void write_crash_image(const std::string& path,
+                       const std::vector<uint8_t>& image);
+
+struct RecoveryCheck {
+    bool ok = true;
+    std::string detail;  ///< semicolon-joined reasons when !ok
+
+    void fail(std::string why) {
+        ok = false;
+        detail += why + "; ";
+    }
+};
+
+/// Twin-half consistency: after recovery both halves of every shard must
+/// agree over the allocated range, and every shard must be IDLE.  Engines
+/// without twin copies (the log baselines) pass vacuously.  The engine must
+/// already be init()ed (i.e. recovery has run).
+template <typename E>
+RecoveryCheck check_twin_halves() {
+    RecoveryCheck rc;
+    if constexpr (requires { E::shard_count(); }) {
+        using TxS = decltype(E::state(0u));
+        for (unsigned sh = 0; sh < E::shard_count(); ++sh) {
+            std::ostringstream os;
+            if (E::state(sh) != TxS::IDL) {
+                os << "shard " << sh << " not IDLE after recovery";
+                rc.fail(os.str());
+                continue;
+            }
+            if (E::back_base(sh) != nullptr &&
+                std::memcmp(E::main_base(sh), E::back_base(sh),
+                            size_t(E::used_bytes(sh))) != 0) {
+                os << "shard " << sh << " twin halves differ over "
+                   << E::used_bytes(sh) << " used bytes";
+                rc.fail(os.str());
+            }
+        }
+    }
+    return rc;
+}
+
+/// Allocator liveness: a post-recovery transaction on every shard must still
+/// be able to allocate and free.  The free-list metadata is walked
+/// defensively first — a corrupt image (e.g. recovered under a planted
+/// protocol mutation) has garbage chunk pointers, and letting the real
+/// alloc path chase them would crash the prober instead of reporting.
+template <typename E>
+RecoveryCheck probe_allocator() {
+    RecoveryCheck rc;
+    auto alloc_of = [](unsigned sh) -> auto& {
+        if constexpr (requires(unsigned s) { E::allocator(s); }) {
+            return E::allocator(sh);
+        } else {
+            (void)sh;
+            return E::allocator();
+        }
+    };
+    auto probe = [&](auto run, unsigned sh) {
+        // metadata_sane makes the free lists safe to walk; check_consistency
+        // then validates the boundary tags the free path's coalescing
+        // trusts.  Only a heap that passes both is given to the real
+        // allocator.
+        if (!alloc_of(sh).metadata_sane() ||
+            alloc_of(sh).check_consistency() == 0) {
+            std::ostringstream os;
+            os << "allocator metadata corrupt after recovery (shard " << sh
+               << ")";
+            rc.fail(os.str());
+            return;
+        }
+        try {
+            run([&] {
+                void* p = E::alloc_bytes(64);
+                if (p == nullptr)
+                    throw std::runtime_error("alloc_bytes returned null");
+                E::free_bytes(p);
+            });
+        } catch (const std::exception& ex) {
+            std::ostringstream os;
+            os << "allocator broken after recovery (shard " << sh
+               << "): " << ex.what();
+            rc.fail(os.str());
+        }
+    };
+    if constexpr (requires { E::shard_count(); }) {
+        for (unsigned sh = 0; sh < E::shard_count(); ++sh)
+            probe([&](auto&& f) { E::updateTx(sh, f); }, sh);
+    } else {
+        probe([&](auto&& f) { E::updateTx(f); }, 0);
+    }
+    return rc;
+}
+
+/// Both structural checks in one call (the common shape).
+template <typename E>
+RecoveryCheck validate_recovered_engine() {
+    RecoveryCheck rc = check_twin_halves<E>();
+    RecoveryCheck pa = probe_allocator<E>();
+    if (!pa.ok) {
+        rc.ok = false;
+        rc.detail += pa.detail;
+    }
+    return rc;
+}
 
 }  // namespace romulus::analysis

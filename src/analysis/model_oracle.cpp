@@ -1,0 +1,203 @@
+#include "analysis/model_oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace romulus::analysis {
+
+namespace {
+
+uint64_t fnv1a(const void* p, size_t n, uint64_t h) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// Human-readable first divergence between a model shard and a recovered one.
+std::string describe_diff(uint32_t sd, const ShardImage& want,
+                          const ShardImage& got) {
+    std::ostringstream os;
+    os << "shard " << sd << ": ";
+    for (const auto& [k, v] : want) {
+        auto it = got.find(k);
+        if (it == got.end()) {
+            os << "missing key \"" << k << "\"";
+            return os.str();
+        }
+        if (it->second != v) {
+            os << "key \"" << k << "\" holds " << it->second.size()
+               << " bytes, model expects " << v.size()
+               << (it->second.size() == v.size() ? " (content differs)" : "");
+            return os.str();
+        }
+    }
+    for (const auto& [k, v] : got) {
+        if (!want.count(k)) {
+            os << "unexpected key \"" << k << "\"";
+            return os.str();
+        }
+    }
+    os << "identical";
+    return os.str();
+}
+
+}  // namespace
+
+void KvModel::apply(const SubTx& st) {
+    ShardImage& sh = shards_[st.shard];
+    for (const TraceOp& op : st.ops) {
+        switch (op.kind) {
+            case TraceOpKind::kPut:
+                sh[op.key] = op.value;
+                break;
+            case TraceOpKind::kDel:
+                sh.erase(op.key);
+                break;
+            case TraceOpKind::kGet:
+                break;
+        }
+    }
+}
+
+bool KvModel::lookup(uint32_t shard, const std::string& key,
+                     std::string* value_out) const {
+    const ShardImage& sh = shards_[shard];
+    auto it = sh.find(key);
+    if (it == sh.end()) return false;
+    if (value_out != nullptr) *value_out = it->second;
+    return true;
+}
+
+uint64_t KvModel::digest() const {
+    uint64_t h = 1469598103934665603ull;
+    for (const ShardImage& sh : shards_) {
+        uint64_t n = sh.size();
+        h = fnv1a(&n, sizeof(n), h);
+        for (const auto& [k, v] : sh) {
+            uint64_t kl = k.size(), vl = v.size();
+            h = fnv1a(&kl, sizeof(kl), h);
+            h = fnv1a(k.data(), k.size(), h);
+            h = fnv1a(&vl, sizeof(vl), h);
+            h = fnv1a(v.data(), v.size(), h);
+        }
+    }
+    return h;
+}
+
+PrefixCheckResult check_prefix_consistent(
+    const TxTrace& trace, const std::vector<ShardImage>& recovered,
+    size_t min_prefix, size_t max_prefix) {
+    PrefixCheckResult r;
+    if (recovered.size() != trace.shard_count) {
+        r.detail = "recovered image has " + std::to_string(recovered.size()) +
+                   " shards, trace has " + std::to_string(trace.shard_count);
+        return r;
+    }
+
+    KvModel model(trace.shard_count);
+    for (uint32_t i = 0; i < trace.setup_count; ++i)
+        model.apply(trace.subtxs[i]);
+
+    // Walk prefixes j = 0..M, keeping a per-shard equality flag and only
+    // re-comparing the shard each step touches.
+    const size_t M = trace.episode_count();
+    std::vector<char> equal(trace.shard_count);
+    size_t bad = 0;
+    for (uint32_t sd = 0; sd < trace.shard_count; ++sd) {
+        equal[sd] = model.shard(sd) == recovered[sd];
+        if (!equal[sd]) ++bad;
+    }
+    std::vector<size_t> matched_outside;
+    for (size_t j = 0;; ++j) {
+        if (bad == 0) {
+            if (j >= min_prefix && j <= max_prefix) {
+                r.ok = true;
+                r.matched_prefix = j;
+                return r;
+            }
+            matched_outside.push_back(j);
+        }
+        if (j == M) break;
+        const SubTx& st = trace.episode(j);
+        if (!st.is_get()) {
+            model.apply(st);
+            const bool now = model.shard(st.shard) == recovered[st.shard];
+            if (now != bool(equal[st.shard])) {
+                equal[st.shard] = now;
+                bad += now ? -1 : 1;
+            }
+        }
+    }
+
+    std::ostringstream os;
+    os << "recovered image matches no committed prefix in ["
+       << min_prefix << ", "
+       << (max_prefix > M ? M : max_prefix) << "] of " << M
+       << " episode sub-txs; ";
+    if (!matched_outside.empty()) {
+        // Matching a prefix outside the admissible window is the
+        // lost-durability / phantom-commit signature, as opposed to a torn
+        // image that matches nothing.
+        os << "it equals prefix";
+        for (size_t j : matched_outside) os << " " << j;
+        os << " outside the window";
+    } else {
+        // Diff against the model at the window's lower bound — the state the
+        // recovered image is closest to being obliged to match.
+        KvModel at(trace.shard_count);
+        for (uint32_t i = 0; i < trace.setup_count; ++i)
+            at.apply(trace.subtxs[i]);
+        const size_t lo = std::min(min_prefix, M);
+        for (size_t j = 0; j < lo; ++j) at.apply(trace.episode(j));
+        os << "vs prefix " << lo << ": ";
+        for (uint32_t sd = 0; sd < trace.shard_count; ++sd) {
+            if (at.shard(sd) != recovered[sd])
+                os << describe_diff(sd, at.shard(sd), recovered[sd]) << "; ";
+        }
+    }
+    r.detail = os.str();
+    return r;
+}
+
+bool KeyObservations::admits(bool found, const std::string& value) const {
+    if (!found) return may_be_missing;
+    return std::binary_search(values.begin(), values.end(), value);
+}
+
+KeyObservations legal_observations(const TxTrace& trace, const std::string& key,
+                                   uint32_t shard) {
+    KeyObservations obs;
+    bool present = false;
+    std::string current;
+    auto note = [&] {
+        if (present) {
+            obs.values.push_back(current);
+        } else {
+            obs.may_be_missing = true;
+        }
+    };
+    note();  // state before any sub-transaction
+    for (const SubTx& st : trace.subtxs) {
+        if (st.shard != shard) continue;
+        for (const TraceOp& op : st.ops) {
+            if (op.key != key) continue;
+            if (op.kind == TraceOpKind::kPut) {
+                present = true;
+                current = op.value;
+            } else if (op.kind == TraceOpKind::kDel) {
+                present = false;
+                current.clear();
+            }
+        }
+        note();
+    }
+    std::sort(obs.values.begin(), obs.values.end());
+    obs.values.erase(std::unique(obs.values.begin(), obs.values.end()),
+                     obs.values.end());
+    return obs;
+}
+
+}  // namespace romulus::analysis

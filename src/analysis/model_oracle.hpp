@@ -1,0 +1,76 @@
+// romfuzz layer 2 (docs/romfuzz.md): the linearizable in-DRAM model and the
+// prefix-consistency oracle.
+//
+// The fuzz generator is single-threaded, so the committed history is totally
+// ordered and the model is simply the per-shard map state after each
+// sub-transaction.  The durability contract under test: a recovered crash
+// image must equal the model state after the setup plus SOME prefix of the
+// episode sub-transactions — per shard all-or-nothing, and for a cross-shard
+// WriteBatch (split into ascending-shard-order sub-transactions) always a
+// prefix in that fixed order, never a torn sub-batch.  Callers tighten the
+// admissible prefix window when they know more: a complete crash cut must
+// match the full history, a fork-crash whose child reported c committed
+// sub-transactions must match c or c+1 (the in-flight one may have reached
+// its durability point).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/tx_trace.hpp"
+
+namespace romulus::analysis {
+
+/// One shard's recovered (or modeled) content: key -> value.
+using ShardImage = std::map<std::string, std::string>;
+
+/// The in-DRAM model: per-shard maps advanced one sub-transaction at a time.
+class KvModel {
+  public:
+    explicit KvModel(uint32_t shards) : shards_(shards) {}
+
+    /// Apply one sub-transaction (kGet is a no-op).
+    void apply(const SubTx& st);
+    /// Model answer for a read: true + value when present.
+    bool lookup(uint32_t shard, const std::string& key,
+                std::string* value_out) const;
+    const ShardImage& shard(uint32_t sd) const { return shards_[sd]; }
+    uint32_t shard_count() const { return uint32_t(shards_.size()); }
+    uint64_t digest() const;
+
+  private:
+    std::vector<ShardImage> shards_;
+};
+
+struct PrefixCheckResult {
+    bool ok = false;
+    /// Episode sub-transactions applied in the matched prefix (counting
+    /// kGets, which change nothing, so adjacent prefixes may coincide).
+    size_t matched_prefix = 0;
+    std::string detail;  ///< on failure: first divergence, per shard
+};
+
+/// Check `recovered` (one ShardImage per shard, from the post-recovery heap)
+/// against the trace: it must equal the model after setup plus j episode
+/// sub-transactions for some j in [min_prefix, max_prefix].
+PrefixCheckResult check_prefix_consistent(const TxTrace& trace,
+                                          const std::vector<ShardImage>& recovered,
+                                          size_t min_prefix = 0,
+                                          size_t max_prefix = SIZE_MAX);
+
+/// The set of values `key` legally holds at ANY point of the trace —
+/// including kMissing markers when the key is absent at some prefix.  The
+/// concurrent-reader oracle uses this: a read observation outside the set
+/// can only come from a torn snapshot.
+struct KeyObservations {
+    std::vector<std::string> values;  ///< sorted, deduplicated
+    bool may_be_missing = false;
+
+    bool admits(bool found, const std::string& value) const;
+};
+KeyObservations legal_observations(const TxTrace& trace, const std::string& key,
+                                   uint32_t shard);
+
+}  // namespace romulus::analysis

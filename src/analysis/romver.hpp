@@ -128,17 +128,9 @@ class RomverHarness {
         }
     }
 
-    void write_image(const std::vector<uint8_t>& image) {
-        std::ofstream f(cfg_.path, std::ios::binary | std::ios::in);
-        if (!f) throw std::runtime_error("romver: cannot reopen heap file");
-        f.write(reinterpret_cast<const char*>(image.data()),
-                std::streamsize(image.size()));
-        if (!f) throw std::runtime_error("romver: heap image write failed");
-    }
-
     bool validate_image(const std::vector<uint8_t>& image, const CrashCut& cut,
                         std::string& err) {
-        write_image(image);
+        write_crash_image(cfg_.path, image);
         E::crash_reset_for_tests();
         try {
             init_engine();
@@ -149,23 +141,11 @@ class RomverHarness {
         std::ostringstream os;
         bool ok = true;
 
-        // Twin-half consistency: after recovery both halves must agree over
-        // the allocated range, and every shard must be IDLE.
-        if constexpr (requires { E::shard_count(); }) {
-            using TxS = decltype(E::state(0u));
-            for (unsigned sh = 0; sh < E::shard_count(); ++sh) {
-                if (E::state(sh) != TxS::IDL) {
-                    ok = false;
-                    os << "shard " << sh << " not IDLE after recovery; ";
-                }
-                if (E::back_base(sh) != nullptr &&
-                    std::memcmp(E::main_base(sh), E::back_base(sh),
-                                size_t(E::used_bytes(sh))) != 0) {
-                    ok = false;
-                    os << "shard " << sh << " twin halves differ over "
-                       << E::used_bytes(sh) << " used bytes; ";
-                }
-            }
+        // Engine-structural invariants (shared with romfuzz): twin-half
+        // consistency + IDLE states after recovery.
+        if (RecoveryCheck rc = check_twin_halves<E>(); !rc.ok) {
+            ok = false;
+            os << rc.detail;
         }
 
         // Root reachability + KV oracle: the transaction was atomic, so the
@@ -203,18 +183,11 @@ class RomverHarness {
         }
 
         // Allocator metadata: a post-recovery transaction must still be able
-        // to allocate and free.
+        // to allocate and free (shared validator, every shard probed).
         if (ok) {
-            try {
-                E::updateTx([&] {
-                    void* p = E::alloc_bytes(64);
-                    if (p == nullptr)
-                        throw std::runtime_error("alloc_bytes returned null");
-                    E::free_bytes(p);
-                });
-            } catch (const std::exception& ex) {
+            if (RecoveryCheck rc = probe_allocator<E>(); !rc.ok) {
                 ok = false;
-                os << "allocator broken after recovery: " << ex.what() << "; ";
+                os << rc.detail;
             }
         }
 

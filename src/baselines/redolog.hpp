@@ -196,6 +196,31 @@ class RedoLogPTM {
         store_range(dst, zeros.data(), n);
     }
 
+    /// Transactional range read, symmetric to store_range.  Redo buffering
+    /// means the heap bytes of anything stored earlier in the SAME
+    /// transaction are stale until commit applies the write set — so any
+    /// byte-range consumer (KVStore key compare, value materialization)
+    /// must read through here, not via raw memcpy, to see its own writes.
+    static void load_range(void* dst, const void* src, size_t n) {
+        if (!tl.active || !in_heap(src)) {
+            std::memcpy(dst, src, n);
+            return;
+        }
+        const auto* sp = static_cast<const uint8_t*>(src);
+        auto* dp = static_cast<uint8_t*>(dst);
+        size_t i = 0;
+        while (i < n) {
+            const uintptr_t a = reinterpret_cast<uintptr_t>(sp + i);
+            const uintptr_t wa = a & ~uintptr_t{7};
+            const size_t off = a - wa;
+            const size_t take = std::min<size_t>(8 - off, n - i);
+            const uint64_t word = read_word(wa);
+            std::memcpy(dp + i, reinterpret_cast<const uint8_t*>(&word) + off,
+                        take);
+            i += take;
+        }
+    }
+
     static void note_used(const void* end) {
         uint64_t off = static_cast<const uint8_t*>(end) - s.heap;
         uint64_t cur = s.header->used_size.load(std::memory_order_relaxed);
@@ -304,7 +329,17 @@ class RedoLogPTM {
     template <typename T, typename... Args>
     static T* tmNew(Args&&... args) {
         void* ptr = alloc_bytes(sizeof(T));
-        return new (ptr) T(std::forward<Args>(args)...);
+        if constexpr (sizeof...(Args) == 0) {
+            // Value-initializing placement-new would zero the object with
+            // raw in-place stores that bypass the write set — mutating the
+            // live heap before commit, which a discarded (crashed) redo log
+            // can never undo.  Zero through zero_range (write-set routed)
+            // and default-initialize instead.
+            zero_range(ptr, sizeof(T));
+            return new (ptr) T;
+        } else {
+            return new (ptr) T(std::forward<Args>(args)...);
+        }
     }
     template <typename T>
     static void tmDelete(T* obj) {

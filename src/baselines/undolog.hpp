@@ -227,7 +227,18 @@ class UndoLogPTM {
     template <typename T, typename... Args>
     static T* tmNew(Args&&... args) {
         void* ptr = alloc_bytes(sizeof(T));
-        return new (ptr) T(std::forward<Args>(args)...);
+        if constexpr (sizeof...(Args) == 0) {
+            // Value-initializing placement-new would zero the object with
+            // raw stores that bypass pstore — and thus the undo log, making
+            // the chunk's previous content unrestorable after a crash mid-tx
+            // (found by romfuzz: a rolled-back allocation left zeroes inside
+            // a freed-and-reused value buffer).  Zero through zero_range
+            // (logged) and default-initialize instead.
+            zero_range(ptr, sizeof(T));
+            return new (ptr) T;
+        } else {
+            return new (ptr) T(std::forward<Args>(args)...);
+        }
     }
     template <typename T>
     static void tmDelete(T* obj) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <sstream>
 
 namespace romulus {
 
@@ -34,6 +35,33 @@ void count_tx_abort() { g_tx_aborts.fetch_add(1, std::memory_order_relaxed); }
 ReadConfig& read_config() {
     static ReadConfig cfg;
     return cfg;
+}
+
+std::string apply_env_tuning() {
+    std::ostringstream os;
+    auto env_long = [&](const char* name, long lo, auto apply) {
+        if (const char* v = std::getenv(name)) {
+            long n = std::atol(v);
+            if (n >= lo) {
+                apply(n);
+                os << name << "=" << n << " ";
+            }
+        }
+    };
+    env_long("ROMULUS_READ_OPTIMISTIC", 0,
+             [](long n) { read_config().optimistic = n != 0; });
+    env_long("ROMULUS_READ_MAX_ATTEMPTS", 1, [](long n) {
+        read_config().max_attempts = static_cast<unsigned>(n);
+    });
+    env_long("ROMULUS_COMMIT_COALESCE", 0,
+             [](long n) { pmem::commit_config().coalesce = n != 0; });
+    env_long("ROMULUS_NT_THRESHOLD", 0, [](long n) {
+        pmem::commit_config().nt_threshold = static_cast<size_t>(n);
+    });
+    env_long("ROMULUS_COMBINE_RESCANS", 0, [](long n) {
+        pmem::commit_config().combine_rescans = static_cast<unsigned>(n);
+    });
+    return os.str();
 }
 
 ReadStats& tl_read_stats() {

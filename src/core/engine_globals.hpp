@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "pmem/flush.hpp"
 
@@ -52,6 +53,19 @@ struct ReadConfig {
     unsigned max_attempts = 4;
 };
 ReadConfig& read_config();
+
+/// Seed ReadConfig / pmem::CommitConfig from the environment — lets the
+/// fuzz/CI legs sweep knob settings without recompiling.  Recognized (unset
+/// vars leave the compiled defaults):
+///   ROMULUS_READ_OPTIMISTIC=0|1      ReadConfig::optimistic
+///   ROMULUS_READ_MAX_ATTEMPTS=<n>    ReadConfig::max_attempts (>= 1)
+///   ROMULUS_COMMIT_COALESCE=0|1      CommitConfig::coalesce
+///   ROMULUS_NT_THRESHOLD=<bytes>     CommitConfig::nt_threshold
+///   ROMULUS_COMBINE_RESCANS=<n>      CommitConfig::combine_rescans
+/// Returns a human-readable summary of the overrides applied (empty when
+/// none).  Call from tool main()s before any engine init; knobs are
+/// process-wide and read on every transaction.
+std::string apply_env_tuning();
 
 /// Per-thread outcome counters for the optimistic read path.  Thread-local
 /// so the read fast path never touches a shared cache line.

@@ -516,7 +516,18 @@ class RomulusEngine {
     template <typename T, typename... Args>
     static T* tmNew(Args&&... args) {
         void* ptr = alloc_bytes(sizeof(T));
-        return new (ptr) T(std::forward<Args>(args)...);
+        if constexpr (sizeof...(Args) == 0) {
+            // Value-initializing placement-new (`new (ptr) T()`) zeroes a
+            // trivially-constructible T with raw stores the interposition
+            // layer never sees, so the zeroing would neither be range-logged
+            // for twin propagation nor be recoverable by the log baselines.
+            // Zero through zero_range and default-initialize instead (which
+            // writes nothing for trivially-constructible T).
+            zero_range(ptr, sizeof(T));
+            return new (ptr) T;
+        } else {
+            return new (ptr) T(std::forward<Args>(args)...);
+        }
     }
 
     template <typename T>

@@ -115,7 +115,8 @@ class KVStore {
             if (n == nullptr) return;
             if (value_out != nullptr) {
                 const char* vb = n->val_buf.pload();
-                value_out->assign(vb, n->val_len.pload());
+                value_out->resize(n->val_len.pload());
+                load_bytes(value_out->data(), vb, value_out->size());
             }
         });
         return found;
@@ -149,6 +150,50 @@ class KVStore {
                 }
             }
         });
+    }
+
+    /// Bounds-checked traversal for walking possibly-torn crash images
+    /// (romfuzz, post-recovery oracles).  Runs outside any transaction on a
+    /// quiescent heap.  `ok(ptr, len)` must answer whether [ptr, ptr+len)
+    /// lies inside the store's heap area; no pointer is dereferenced before
+    /// it passes.  Returns false — with a reason in `why` — instead of
+    /// faulting when the structure is corrupt (wild pointer, absurd length,
+    /// chain cycle, or node count disagreeing with the stored `count`).
+    template <typename F, typename V>
+    bool safe_for_each(F&& f, V&& ok, std::string* why = nullptr) const {
+        auto fail = [&](const char* reason) {
+            if (why != nullptr) *why = reason;
+            return false;
+        };
+        if (!ok(this, sizeof(*this))) return fail("store header out of bounds");
+        const uint64_t nb = nbuckets.pload();
+        if (nb == 0 || nb > (uint64_t{1} << 26))
+            return fail("implausible bucket count");
+        p<Node*>* b = buckets.pload();
+        if (!ok(b, nb * sizeof(p<Node*>)))
+            return fail("bucket array out of bounds");
+        const uint64_t max_nodes = uint64_t{1} << 20;
+        uint64_t seen = 0;
+        for (uint64_t i = 0; i < nb; ++i) {
+            for (const Node* n = b[i].pload(); n != nullptr;
+                 n = n->next.pload()) {
+                if (!ok(n, sizeof(Node))) return fail("node out of bounds");
+                if (++seen > max_nodes) return fail("chain cycle suspected");
+                const char* kb = n->key_buf.pload();
+                const uint32_t kl = n->key_len.pload();
+                const char* vb = n->val_buf.pload();
+                const uint32_t vl = n->val_len.pload();
+                if (kl > (1u << 20) || vl > (1u << 20))
+                    return fail("implausible key/value length");
+                if (!ok(kb, kl ? kl : 1)) return fail("key buffer out of bounds");
+                if (!ok(vb, vl ? vl : 1))
+                    return fail("value buffer out of bounds");
+                f(std::string_view(kb, kl), std::string_view(vb, vl));
+            }
+        }
+        if (seen != count.pload())
+            return fail("node count disagrees with stored count");
+        return true;
     }
 
     /// Reverse-order scan (readreverse): same cost profile by construction.
@@ -194,9 +239,39 @@ class KVStore {
         return nullptr;
     }
 
+    /// Read `n` heap bytes, seeing the current transaction's own buffered
+    /// writes.  Engines that apply stores in place (Romulus, undo log) read
+    /// the heap directly; a redo-buffering engine provides load_range so a
+    /// key or value written earlier in the SAME transaction is visible
+    /// before commit (raw memcmp/memcpy would read the stale heap bytes
+    /// and, e.g., make a PUT-then-DEL of one key resurrect it).
+    static void load_bytes(char* dst, const char* src, size_t n) {
+        if constexpr (requires { PTM::load_range(dst, src, n); }) {
+            PTM::load_range(dst, src, n);
+        } else {
+            // romlint: allow(raw-memcpy) read-direction copy out of the heap
+            std::memcpy(dst, src, n);
+        }
+    }
+
     static bool key_equals(const Node* n, std::string_view key) {
         if (n->key_len.pload() != key.size()) return false;
-        return std::memcmp(n->key_buf.pload(), key.data(), key.size()) == 0;
+        const char* kb = n->key_buf.pload();
+        if constexpr (requires(char* d) { PTM::load_range(d, kb, size_t{0}); }) {
+            char chunk[64];
+            size_t off = 0;
+            while (off < key.size()) {
+                const size_t take =
+                    std::min(sizeof(chunk), key.size() - off);
+                load_bytes(chunk, kb + off, take);
+                if (std::memcmp(chunk, key.data() + off, take) != 0)
+                    return false;
+                off += take;
+            }
+            return true;
+        } else {
+            return std::memcmp(kb, key.data(), key.size()) == 0;
+        }
     }
 
     static char* alloc_string(std::string_view s) {

@@ -23,6 +23,30 @@
 
 namespace romulus::db {
 
+/// The routing hash every ShardedKVStore instantiation uses: FNV-1a (as in
+/// the per-shard bucket hash) pushed through a murmur3-style finalizer, so
+/// shard routing and bucket choice stay decorrelated.  Exposed as a free
+/// function so the romfuzz trace generator can route keys without an engine
+/// mapped.
+///
+/// The finalizer is load-bearing: raw FNV-1a barely mixes its high bits for
+/// short keys — over sequential keys like "k00000".."k00095" bits 32..39 of
+/// the hash are constant, so the previous `(h >> 32) % nshards` routed *all*
+/// of them to shard 0 (found by the romfuzz cross-shard batch test).
+inline unsigned shard_for_key(std::string_view key, unsigned nshards) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a, as in KVStore
+    for (char c : key) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return static_cast<unsigned>(h % nshards);
+}
+
 template <typename PTM>
 class ShardedKVStore {
   public:
@@ -50,7 +74,7 @@ class ShardedKVStore {
     /// per-shard stores use for buckets, so shard routing and bucket choice
     /// stay decorrelated.
     unsigned shard_of(std::string_view key) const {
-        return static_cast<unsigned>((hash_of(key) >> 32) % nshards_);
+        return shard_for_key(key, nshards_);
     }
 
     void put(std::string_view key, std::string_view value) {
@@ -132,15 +156,6 @@ class ShardedKVStore {
     Store* store(unsigned sd) const { return stores_[sd]; }
 
   private:
-    static uint64_t hash_of(std::string_view s) {
-        uint64_t h = 1469598103934665603ull;  // FNV-1a, as in KVStore
-        for (char c : s) {
-            h ^= static_cast<uint8_t>(c);
-            h *= 1099511628211ull;
-        }
-        return h;
-    }
-
     unsigned nshards_;
     std::array<Store*, kMaxShards> stores_{};
 };

@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "analysis/tx_trace.hpp"
+#include "fence_sweep.hpp"
 #include "pmem/checker.hpp"
 #include "pmem/sim_persistence.hpp"
 #include "ptm_types.hpp"
@@ -206,86 +208,33 @@ TYPED_TEST(CommitPathChecker, StreamingCommitStaysDisciplineClean) {
 }
 
 // ------------------------------------------ crash injection, streaming on
+//
+// Trace-driven every-fence sweep (tests/fence_sweep.hpp): a generated KV
+// history whose value sizes force multi-line store_range runs through the
+// streaming replication path on every commit — the coverage the old
+// hand-written stripe workload provided, now checked by the romfuzz model
+// oracle instead of a bespoke verify body.
 
-struct CrashPoint {};
-
-class CrashingSim final : public pmem::SimHooks {
-  public:
-    CrashingSim(uint8_t* base, size_t size, pmem::SimPersistence::Options opts)
-        : inner_(base, size, opts) {}
-
-    uint64_t crash_at = UINT64_MAX;
-
-    void on_store(const void* a, size_t n) override { inner_.on_store(a, n); }
-    void on_pwb(const void* a) override { inner_.on_pwb(a); }
-    void on_fence() override {
-        inner_.on_fence();
-        if (inner_.fence_count() >= crash_at) throw CrashPoint{};
-    }
-
-    pmem::SimPersistence& model() { return inner_; }
-
-  private:
-    pmem::SimPersistence inner_;
-};
-
-/// Bulk-write workload sized so every commit replicates multi-line runs
-/// through the streaming path: each tx overwrites one 1 KB stripe of a 4 KB
-/// buffer and bumps a counter cell.
+/// Values up to 1.5 KB (well past the streaming nt_threshold of 16 forced
+/// below) with a small hot key set, so most PUTs overwrite existing
+/// multi-line buffers and DELs recycle them through the allocator.
 template <typename E>
-struct StreamCrashWorkload {
-    static constexpr int kTxs = 8;
-    static constexpr size_t kStripe = 1024;
-
-    static int run(int upto) {
-        E::begin_transaction();
-        auto* buf = static_cast<uint8_t*>(E::alloc_bytes(4 * kStripe));
-        E::zero_range(buf, 4 * kStripe);
-        E::put_object(0, buf);
-        auto* ctr = E::template tmNew<typename E::template p<uint64_t>>();
-        *ctr = 0u;
-        E::put_object(1, ctr);
-        E::end_transaction();
-        int committed = 0;
-        for (int j = 0; j < upto; ++j) {
-            std::vector<uint8_t> pat(kStripe, uint8_t(j + 1));
-            E::begin_transaction();
-            E::store_range(buf + (j % 4) * kStripe, pat.data(), kStripe);
-            *ctr = uint64_t(j + 1);
-            E::end_transaction();
-            committed = j + 1;
-        }
-        return committed;
-    }
-
-    /// After recovery the heap must equal the state after exactly k
-    /// committed transactions for some k >= completed (all-or-nothing).
-    static void verify(int completed) {
-        auto* buf = E::template get_object<uint8_t>(0);
-        auto* ctr =
-            E::template get_object<typename E::template p<uint64_t>>(1);
-        if (buf == nullptr || ctr == nullptr) {
-            ASSERT_LT(completed, 0) << "creation tx lost after commit";
-            return;
-        }
-        const uint64_t k = ctr->pload();
-        ASSERT_GE(int64_t(k), int64_t(completed < 0 ? 0 : completed));
-        ASSERT_LE(k, uint64_t(kTxs));
-        for (int s = 0; s < 4; ++s) {
-            // Last tx j (1-based) <= k writing stripe s, 0 if none yet.
-            uint8_t expect = 0;
-            for (uint64_t j = k; j >= 1; --j) {
-                if (int((j - 1) % 4) == s) {
-                    expect = uint8_t(j);
-                    break;
-                }
-            }
-            for (size_t i = 0; i < kStripe; ++i)
-                ASSERT_EQ(buf[s * kStripe + i], expect)
-                    << "stripe " << s << " byte " << i << " k=" << k;
-        }
-    }
-};
+analysis::TxTrace streaming_trace(unsigned shards) {
+    analysis::GenConfig g;
+    g.setup_ops = 0;  // every sub-tx is part of the prefix-checked history
+    g.episode_ops = 9;
+    g.key_space = 10;
+    g.value_max = 1536;
+    g.put_pct = 70;
+    g.del_pct = 10;
+    g.get_pct = 5;
+    g.batch_ops = 3;
+    return analysis::generate_trace(
+        g, /*seed=*/20240807, shards, analysis::engine_id_of<E>(),
+        [shards](std::string_view key) {
+            return db::shard_for_key(key, shards);
+        });
+}
 
 template <typename E>
 void run_streaming_crash_sweep(pmem::FlushContent content) {
@@ -293,52 +242,8 @@ void run_streaming_crash_sweep(pmem::FlushContent content) {
     select_streaming_commit_path();
     const std::string path =
         test::heap_path(std::string("cpath_crash_") + E::name());
-    const size_t bytes = 12u << 20;
     pmem::SimPersistence::Options opts{content, 0.0, 7};
-
-    // Dry run: count the fences of the full workload.
-    std::remove(path.c_str());
-    E::init(bytes, path);
-    auto sim0 = std::make_unique<CrashingSim>(E::region().base(),
-                                              E::region().size(), opts);
-    pmem::set_sim_hooks(sim0.get());
-    StreamCrashWorkload<E>::run(StreamCrashWorkload<E>::kTxs);
-    pmem::set_sim_hooks(nullptr);
-    const uint64_t total = sim0->model().fence_count();
-    sim0.reset();
-    E::destroy();
-    ASSERT_GT(total, 5u);
-
-    int crashes = 0;
-    for (uint64_t k = 1; k <= total; ++k) {
-        std::remove(path.c_str());
-        E::init(bytes, path);
-        CrashingSim sim(E::region().base(), E::region().size(), opts);
-        sim.crash_at = k;
-        pmem::set_sim_hooks(&sim);
-        int completed = -1;
-        bool crashed = false;
-        try {
-            completed =
-                StreamCrashWorkload<E>::run(StreamCrashWorkload<E>::kTxs);
-        } catch (const CrashPoint&) {
-            crashed = true;
-        }
-        pmem::set_sim_hooks(nullptr);
-        if (crashed) {
-            ++crashes;
-            sim.model().crash_restore();
-            E::close();
-            E::crash_reset_for_tests();
-            E::init(bytes, path);
-            StreamCrashWorkload<E>::verify(-1);
-        } else {
-            StreamCrashWorkload<E>::verify(completed);
-        }
-        E::destroy();
-        if (::testing::Test::HasFatalFailure()) return;
-    }
-    EXPECT_GT(crashes, 0);
+    test::run_trace_fence_sweep<E>(streaming_trace<E>(2), path, opts);
 }
 
 template <typename E>

@@ -21,12 +21,15 @@
 
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/race_detector.hpp"
+#include "analysis/tx_trace.hpp"
+#include "fence_sweep.hpp"
 #include "pmem/sim_persistence.hpp"
 #include "ptm_types.hpp"
 #include "sync/seqlock.hpp"
@@ -436,164 +439,108 @@ TEST(SeqLockUnit, ReadersSeeTheWindowEdges) {
 }
 
 // --------------------------------------- crash sweep + concurrent reader
+//
+// Trace-driven every-fence sweep (tests/fence_sweep.hpp) with an optimistic
+// reader attached through the sweep-client hook: the reader continuously
+// snapshot-reads random trace keys and must never observe a torn value
+// while the engine is healthy.  After the crash the writer thread "dies"
+// mid-commit (lock held, window odd), so the sweep releases the reader
+// through crash_reset_for_tests() — the same volatile-state rebuild a
+// restart does — before the client joins it.
 
-struct CrashPoint {};
-
-/// SimPersistence wrapper that raises CrashPoint at the N-th fence — and
-/// publishes the crash to the reader thread *before* throwing, so the
-/// reader can stop asserting on a heap that is legitimately mid-recovery.
-class CrashingSim final : public pmem::SimHooks {
-  public:
-    CrashingSim(uint8_t* base, size_t size, pmem::SimPersistence::Options opts)
-        : inner_(base, size, opts) {}
-
-    uint64_t crash_at = UINT64_MAX;
+/// Sweep client: one concurrent reader validating the optimistic read path
+/// against the model oracle.  Two oracles per read, both inside ONE readTx:
+///   * the same key read twice must agree (snapshot consistency), and
+///   * the observation must be in legal_observations() — a value no
+///     committed prefix of the trace ever exposes can only come from a torn
+///     snapshot.
+template <typename E>
+struct SnapshotReaderClient {
+    const analysis::TxTrace& trace;
+    std::vector<std::string> keys;
+    std::vector<analysis::KeyObservations> legal;
+    analysis::KvFacade<E>* kv = nullptr;
     std::atomic<bool>* crashed = nullptr;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> bad{0};
+    std::thread th;
 
-    void on_store(const void* a, size_t n) override { inner_.on_store(a, n); }
-    void on_pwb(const void* a) override { inner_.on_pwb(a); }
-    void on_fence() override {
-        inner_.on_fence();
-        if (inner_.fence_count() >= crash_at) {
-            if (crashed != nullptr)
-                crashed->store(true, std::memory_order_release);
-            throw CrashPoint{};
+    explicit SnapshotReaderClient(const analysis::TxTrace& t) : trace(t) {
+        std::map<std::string, uint32_t> seen;
+        for (const analysis::SubTx& st : t.subtxs)
+            for (const analysis::TraceOp& op : st.ops)
+                seen.emplace(op.key, st.shard);
+        for (const auto& [key, sd] : seen) {
+            keys.push_back(key);
+            legal.push_back(analysis::legal_observations(t, key, sd));
         }
     }
 
-    pmem::SimPersistence& model() { return inner_; }
+    void begin(analysis::KvFacade<E>& facade, std::atomic<bool>& crash_flag) {
+        kv = &facade;
+        crashed = &crash_flag;
+        stop.store(false, std::memory_order_relaxed);
+        bad.store(0, std::memory_order_relaxed);
+        th = std::thread([this] { loop(); });
+    }
 
-  private:
-    pmem::SimPersistence inner_;
+    void loop() {
+        uint64_t x = 0x9E3779B97F4A7C15ull;
+        while (!stop.load(std::memory_order_acquire)) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            const size_t i = size_t((x >> 33) % keys.size());
+            const std::string& key = keys[i];
+            const unsigned sd = kv->route(key);
+            const bool pre = crashed->load(std::memory_order_acquire);
+            bool f1 = false, f2 = false;
+            std::string v1, v2;
+            E::readTx(sd, [&] {
+                f1 = f2 = false;  // restartable
+                v1.clear();
+                v2.clear();
+                auto* s = kv->store(sd);
+                if (s == nullptr) return;
+                f1 = s->get(key, &v1);
+                f2 = s->get(key, &v2);
+            });
+            // Only a read fully bracketed by a healthy engine asserts:
+            // post-crash the window word is force-reset under a torn main,
+            // which is exactly what recovery is for.
+            if (pre || crashed->load(std::memory_order_acquire)) continue;
+            if (f1 != f2 || (f1 && v1 != v2) || !legal[i].admits(f1, v1))
+                bad.fetch_add(1);
+        }
+    }
+
+    void end(uint64_t fence, bool /*did_crash*/) {
+        stop.store(true, std::memory_order_release);
+        th.join();
+        EXPECT_EQ(bad.load(), 0u) << "torn snapshot at crash fence " << fence;
+    }
 };
 
-/// The commit-path crash sweep with an optimistic reader attached: crash at
-/// every fence of the workload; the reader continuously validates the
-/// two-cell invariant and must never observe a torn snapshot while the
-/// engine is healthy.  After the crash the writer thread "dies" mid-commit
-/// (lock held, window odd), so the sweep releases the reader through
-/// crash_reset_for_tests() — the same volatile-state rebuild a restart does.
 template <typename E>
 void run_reader_crash_sweep() {
-    using PU = typename E::template p<uint64_t>;
     const std::string path =
         test::heap_path(std::string("opt_crash_") + E::name());
-    const size_t bytes = 12u << 20;
     pmem::SimPersistence::Options opts{pmem::FlushContent::AtPwb, 0.0, 11};
-    constexpr int kTxs = 6;
-
-    // Setup + workload: cells kept equal inside each tx, plus a 512 B
-    // stripe store so the log/replication machinery is exercised.
-    auto run_txs = [](int upto) {
-        E::begin_transaction();
-        auto* c1 = E::template tmNew<PU>();
-        *c1 = 0u;
-        E::put_object(0, c1);
-        auto* c2 = E::template tmNew<PU>();
-        *c2 = 0u;
-        E::put_object(1, c2);
-        auto* buf = static_cast<uint8_t*>(E::alloc_bytes(2048));
-        E::zero_range(buf, 2048);
-        E::put_object(2, buf);
-        E::end_transaction();
-        int committed = 0;
-        for (int j = 0; j < upto; ++j) {
-            std::vector<uint8_t> pat(512, uint8_t(j + 1));
-            E::begin_transaction();
-            *c1 = uint64_t(j + 1);
-            E::store_range(buf + (j % 4) * 512, pat.data(), 512);
-            *c2 = uint64_t(j + 1);
-            E::end_transaction();
-            committed = j + 1;
-        }
-        return committed;
-    };
-
-    // Dry run: count the workload's fences.
-    std::remove(path.c_str());
-    E::init(bytes, path);
-    auto sim0 = std::make_unique<CrashingSim>(E::region().base(),
-                                              E::region().size(), opts);
-    pmem::set_sim_hooks(sim0.get());
-    run_txs(kTxs);
-    pmem::set_sim_hooks(nullptr);
-    const uint64_t total = sim0->model().fence_count();
-    sim0.reset();
-    E::destroy();
-    ASSERT_GT(total, 5u);
-
-    int crashes = 0;
-    for (uint64_t k = 1; k <= total; ++k) {
-        std::remove(path.c_str());
-        E::init(bytes, path);
-        CrashingSim sim(E::region().base(), E::region().size(), opts);
-        std::atomic<bool> crashed{false};
-        std::atomic<bool> stop{false};
-        std::atomic<uint64_t> bad{0};
-        sim.crash_at = k;
-        sim.crashed = &crashed;
-        pmem::set_sim_hooks(&sim);
-
-        std::thread reader([&] {
-            while (!stop.load(std::memory_order_acquire)) {
-                uint64_t a = 0, b = 0;
-                const bool pre = crashed.load(std::memory_order_acquire);
-                E::readTx([&] {
-                    a = 0;
-                    b = 0;  // restartable
-                    auto* p1 = E::template get_object<PU>(0);
-                    auto* p2 = E::template get_object<PU>(1);
-                    if (p1 == nullptr || p2 == nullptr) return;
-                    a = p1->pload();
-                    b = p2->pload();
-                });
-                // Only a read fully bracketed by a healthy engine asserts:
-                // post-crash the window word is force-reset under a torn
-                // main, which is exactly what recovery is for.
-                if (!pre && !crashed.load(std::memory_order_acquire) &&
-                    a != b)
-                    bad.fetch_add(1);
-            }
+    analysis::GenConfig g;
+    g.setup_ops = 0;  // every sub-tx is part of the prefix-checked history
+    g.episode_ops = 8;
+    g.key_space = 8;  // hot keys: the reader mostly hits live data
+    g.value_max = 512;
+    g.put_pct = 70;
+    g.del_pct = 10;
+    g.get_pct = 5;
+    g.batch_ops = 3;
+    const unsigned shards = 2;
+    const analysis::TxTrace trace = analysis::generate_trace(
+        g, /*seed=*/20240808, shards, analysis::engine_id_of<E>(),
+        [shards](std::string_view key) {
+            return db::shard_for_key(key, shards);
         });
-
-        int completed = -1;
-        bool did_crash = false;
-        try {
-            completed = run_txs(kTxs);
-        } catch (const CrashPoint&) {
-            did_crash = true;
-        }
-        pmem::set_sim_hooks(nullptr);
-        // The "dead" writer left the lock held and the window odd; rebuild
-        // the volatile kit so a reader blocked in the fallback gets out.
-        if (did_crash) E::crash_reset_for_tests();
-        stop.store(true, std::memory_order_release);
-        reader.join();
-        EXPECT_EQ(bad.load(), 0u) << "torn snapshot at crash fence " << k;
-
-        if (did_crash) {
-            ++crashes;
-            sim.model().crash_restore();
-            E::close();
-            E::crash_reset_for_tests();
-            E::init(bytes, path);
-        }
-        auto* p1 = E::template get_object<PU>(0);
-        auto* p2 = E::template get_object<PU>(1);
-        if (p1 != nullptr && p2 != nullptr) {
-            const uint64_t v1 = p1->pload();
-            EXPECT_EQ(v1, p2->pload()) << "recovered cells diverge, k=" << k;
-            EXPECT_LE(v1, uint64_t(kTxs));
-            if (!did_crash) {
-                EXPECT_EQ(v1, uint64_t(completed));
-            }
-        } else {
-            EXPECT_TRUE(did_crash) << "creation tx lost without a crash";
-        }
-        E::destroy();
-        if (::testing::Test::HasFatalFailure()) return;
-    }
-    EXPECT_GT(crashes, 0);
+    SnapshotReaderClient<E> client(trace);
+    test::run_trace_fence_sweep<E>(trace, path, opts, client);
 }
 
 template <typename E>

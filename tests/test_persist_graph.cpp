@@ -281,7 +281,9 @@ TEST(CrashExplorer, DownClosedCutsOnly) {
     ExploreReport rep = explore_crash_images(
         g, rec,
         [&](const std::vector<uint8_t>& img, const CrashCut&, std::string&) {
-            if (img[kLine] == 1) EXPECT_EQ(img[0], 1u);  // fence edge holds
+            if (img[kLine] == 1) {
+                EXPECT_EQ(img[0], 1u);  // fence edge holds
+            }
             return true;
         });
     EXPECT_TRUE(rep.exhaustive);

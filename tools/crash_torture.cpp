@@ -94,6 +94,8 @@ int torture(int iterations) {
 
 int main(int argc, char** argv) {
     pmem::set_profile(pmem::Profile::CLFLUSH);
+    if (std::string tuned = romulus::apply_env_tuning(); !tuned.empty())
+        std::printf("env tuning: %s\n", tuned.c_str());
     const int iterations = argc > 1 ? std::atoi(argv[1]) : 20;
     const std::string engine = argc > 2 ? argv[2] : "log";
     if (engine == "nl") return torture<RomulusNL>(iterations);

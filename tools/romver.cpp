@@ -140,6 +140,9 @@ int main(int argc, char** argv) {
         else usage("unknown argument " + a);
     }
 
+    if (std::string tuned = apply_env_tuning(); !tuned.empty())
+        std::cout << "env tuning: " << tuned << "\n";
+
     if (cli.mutate != "none" && cli.mutate != "elide-fence" &&
         cli.mutate != "reorder-state")
         usage("unknown --mutate " + cli.mutate);
