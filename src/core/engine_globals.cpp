@@ -1,6 +1,7 @@
 #include "core/engine_globals.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -37,15 +38,35 @@ ReadConfig& read_config() {
     return cfg;
 }
 
+UpdateConfig& update_config() {
+    static UpdateConfig cfg;
+    return cfg;
+}
+
+bool parse_env_long(const char* text, long lo, long* out) {
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(text, &end, 10);
+    if (end == text || errno == ERANGE) return false;
+    while (*end == ' ' || *end == '\t') ++end;  // tolerate trailing blanks
+    if (*end != '\0') return false;             // reject "12x", "1.5", ...
+    if (n < lo) return false;
+    *out = n;
+    return true;
+}
+
+bool env_to_long(const char* name, long lo, long* out) {
+    return parse_env_long(std::getenv(name), lo, out);
+}
+
 std::string apply_env_tuning() {
     std::ostringstream os;
     auto env_long = [&](const char* name, long lo, auto apply) {
-        if (const char* v = std::getenv(name)) {
-            long n = std::atol(v);
-            if (n >= lo) {
-                apply(n);
-                os << name << "=" << n << " ";
-            }
+        long n;
+        if (env_to_long(name, lo, &n)) {
+            apply(n);
+            os << name << "=" << n << " ";
         }
     };
     env_long("ROMULUS_READ_OPTIMISTIC", 0,
@@ -61,6 +82,17 @@ std::string apply_env_tuning() {
     env_long("ROMULUS_COMBINE_RESCANS", 0, [](long n) {
         pmem::commit_config().combine_rescans = static_cast<unsigned>(n);
     });
+    env_long("ROMULUS_COMBINE_WAIT_US", 0, [](long n) {
+        pmem::commit_config().combine_wait_us = static_cast<unsigned>(n);
+    });
+    env_long("ROMULUS_UPDATE_FASTPATH", 0,
+             [](long n) { update_config().fastpath = n != 0; });
+    env_long("ROMULUS_UPDATE_MAX_LINES", 1, [](long n) {
+        update_config().max_fastpath_lines = static_cast<unsigned>(n);
+    });
+    env_long("ROMULUS_UPDATE_STRIPES", 1, [](long n) {
+        update_config().stripes = static_cast<unsigned>(n);
+    });
     return os.str();
 }
 
@@ -70,20 +102,16 @@ ReadStats& tl_read_stats() {
 }
 
 size_t default_heap_bytes() {
-    if (const char* mb = std::getenv("ROMULUS_HEAP_MB")) {
-        long v = std::atol(mb);
-        if (v > 0) return static_cast<size_t>(v) * 1024 * 1024;
-    }
+    long v;
+    if (env_to_long("ROMULUS_HEAP_MB", 1, &v))
+        return static_cast<size_t>(v) * 1024 * 1024;
     return 64ull * 1024 * 1024;
 }
 
 unsigned default_shard_count() {
-    if (const char* e = std::getenv("ROMULUS_SHARDS")) {
-        long v = std::atol(e);
-        if (v >= 1) {
-            return v > long(kMaxShards) ? kMaxShards
-                                        : static_cast<unsigned>(v);
-        }
+    long v;
+    if (env_to_long("ROMULUS_SHARDS", 1, &v)) {
+        return v > long(kMaxShards) ? kMaxShards : static_cast<unsigned>(v);
     }
     return 1;
 }

@@ -68,6 +68,14 @@ struct CommitStats {
     /// record_in) rather than on the hot path; stays 0 unless an analysis
     /// run deposits its diagnostic here.
     uint64_t redundant_pwbs = 0;
+    /// Stripe-locked speculative fast path (DESIGN.md §4.11) outcomes for
+    /// update transactions on this thread:
+    uint64_t fastpath_commits = 0;  ///< updateTx committed speculatively
+    uint64_t fastpath_aborts = 0;   ///< speculations aborted (conflict,
+                                    ///< footprint overflow, allocation)
+    uint64_t fastpath_fallbacks = 0;  ///< updateTx that ran the C-RW-WP
+                                      ///< slow path (after aborting or
+                                      ///< because the fast path is off)
     /// Flat-combining batch-size histogram: bucket b counts combined
     /// transactions whose batch held (2^(b-1), 2^b] announced operations
     /// (bucket 0 = singletons, bucket 7 = everything above 64).  Shows how

@@ -1,0 +1,475 @@
+// Stripe-locked speculative update fast path (DESIGN.md §4.11).
+//
+// Unit tests for the stripe table and the speculation buffer (including the
+// no-throw doomed-continuation rules), per-engine fast-path behaviour with
+// counter witnesses (commit, fallback, user-exception abort, footprint
+// overflow, knob-off), the combiner's bounded batch-wait
+// (CommitConfig::combine_wait_us), the shared env-knob parser, and
+// every-fence crash sweeps of traces that commit through the fast path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/tx_trace.hpp"
+#include "db/kvstore.hpp"
+#include "ds/pqueue.hpp"
+#include "fence_sweep.hpp"
+#include "pmem/sim_persistence.hpp"
+#include "pmem/stats.hpp"
+#include "ptm_types.hpp"
+#include "sync/stripe_lock.hpp"
+#include "test_support.hpp"
+
+using namespace romulus;
+using romulus::test::EngineSession;
+using romulus::test::ProfileGuard;
+using romulus::test::UpdateConfigGuard;
+
+// ------------------------------------------------------------ stripe table
+
+TEST(StripeLockTable, TryAcquireIsExclusiveAndReleasePublishes) {
+    sync::StripeLockTable t(64);
+    sync::StripeLockTable::Word pre = ~0ull;
+    ASSERT_TRUE(t.try_acquire(3, pre));
+    EXPECT_EQ(pre, 0u);
+    sync::StripeLockTable::Word pre2;
+    EXPECT_FALSE(t.try_acquire(3, pre2));  // held: try-only, never blocks
+    t.release(3, 5);
+    const auto w = t.read(3);
+    EXPECT_FALSE(sync::StripeLockTable::is_locked(w));
+    EXPECT_EQ(sync::StripeLockTable::version_of(w), 5u);
+}
+
+TEST(StripeLockTable, ReleaseAbortedRestoresPreAcquireWord) {
+    sync::StripeLockTable t(64);
+    sync::StripeLockTable::Word pre;
+    ASSERT_TRUE(t.try_acquire(9, pre));
+    t.release(9, 7);  // version 7 published
+    ASSERT_TRUE(t.try_acquire(9, pre));
+    EXPECT_EQ(sync::StripeLockTable::version_of(pre), 7u);
+    t.release_aborted(9, pre);  // nothing was published
+    EXPECT_EQ(t.read(9), pre);
+}
+
+TEST(StripeLockTable, ClockAdvancesMonotonically) {
+    sync::StripeLockTable t(64);
+    EXPECT_EQ(t.clock_now(), 0u);
+    EXPECT_EQ(t.clock_advance(), 1u);
+    EXPECT_EQ(t.clock_advance(), 2u);
+    EXPECT_EQ(t.clock_now(), 2u);
+    t.reset_for_tests();
+    EXPECT_EQ(t.clock_now(), 0u);
+}
+
+TEST(StripeLockTable, StripeOfLineStaysInTable) {
+    sync::StripeLockTable t(8);
+    for (size_t line = 0; line < 4096; ++line)
+        EXPECT_LT(t.stripe_of_line(line), t.stripe_count());
+}
+
+// ------------------------------------------------------ speculation buffer
+
+namespace {
+alignas(64) uint8_t g_spec_heap[4096];
+}
+
+TEST(SpecBuffer, BuffersStoresAndReadsThemBack) {
+    sync::StripeLockTable t(64);
+    std::memset(g_spec_heap, 0, sizeof(g_spec_heap));
+    sync::SpecBuffer b;
+    b.begin(8, 64, t.clock_now());
+    uint64_t v = 42;
+    sync::spec_store(b, t, g_spec_heap, 128, &v, 8);
+    uint64_t got = 0;
+    sync::spec_load(b, t, g_spec_heap, 128, &got, 8);
+    EXPECT_EQ(got, 42u);
+    EXPECT_EQ(g_spec_heap[128], 0u);  // heap untouched until apply
+    EXPECT_FALSE(b.aborted);
+    EXPECT_EQ(b.nw, 1u);
+}
+
+TEST(SpecBuffer, FootprintOverflowDoomsButKeepsReadYourWrites) {
+    sync::StripeLockTable t(64);
+    std::memset(g_spec_heap, 0, sizeof(g_spec_heap));
+    sync::SpecBuffer b;
+    b.begin(/*max_lines=*/1, 64, t.clock_now());
+    uint64_t v = 1;
+    sync::spec_store(b, t, g_spec_heap, 0, &v, 8);
+    EXPECT_FALSE(b.aborted);
+    v = 2;
+    sync::spec_store(b, t, g_spec_heap, 64, &v, 8);  // second line: overflow
+    EXPECT_TRUE(b.aborted);
+    // The doomed continuation still sees its own writes (and never throws).
+    uint64_t got = 0;
+    sync::spec_load(b, t, g_spec_heap, 64, &got, 8);
+    EXPECT_EQ(got, 2u);
+    sync::spec_load(b, t, g_spec_heap, 0, &got, 8);
+    EXPECT_EQ(got, 1u);
+}
+
+TEST(SpecBuffer, NewerStripeVersionDoomsLoadButStillReadsRaw) {
+    sync::StripeLockTable t(64);
+    std::memset(g_spec_heap, 0, sizeof(g_spec_heap));
+    g_spec_heap[256] = 0x5A;
+    sync::SpecBuffer b;
+    b.begin(8, 64, /*read_version=*/0);
+    const unsigned st = t.stripe_of_line(256 / 64);
+    sync::StripeLockTable::Word pre;
+    ASSERT_TRUE(t.try_acquire(st, pre));
+    t.release(st, 9);  // version 9 > rv 0: the speculation must not validate
+    uint8_t got = 0;
+    sync::spec_load(b, t, g_spec_heap, 256, &got, 1);
+    EXPECT_TRUE(b.aborted);
+    EXPECT_EQ(got, 0x5A);  // degraded to a raw (word-atomic) read
+}
+
+TEST(SpecBuffer, ScratchAllocReturnsAlignedDistinctBlocks) {
+    sync::SpecBuffer b;
+    b.begin(8, 64, 0);
+    void* a = b.scratch_alloc(48);
+    void* c = b.scratch_alloc(1);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+    std::memset(a, 0xAB, 48);  // writable
+    b.begin(8, 64, 0);         // re-begin discards scratch
+    EXPECT_TRUE(b.scratch.empty());
+}
+
+// ------------------------------------------------- engine fast-path typed
+
+// The engines with the stripe fast path: the C-RW-WP Romulus variants plus
+// the undo-log baseline.  RomulusLR keeps its Left-Right path and the
+// redo-log baseline's native TL2 path plays the fast-path role there.
+using FastPathPtms =
+    ::testing::Types<RomulusNL, RomulusLog, baselines::UndoLogPTM>;
+
+template <typename E>
+class StripeFastPath : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        pmem::set_profile(pmem::Profile::NOP);
+        update_config().fastpath = true;
+        session_ = std::make_unique<EngineSession<E>>(
+            32u << 20, std::string("stripefp_") + E::name());
+    }
+    void TearDown() override { session_.reset(); }
+
+    using PU = typename E::template p<uint64_t>;
+
+    /// A 64-slot array of line-strided counters (slot i at byte i*64), set
+    /// up in an allocating (slow-path) transaction and published as root 2.
+    PU* setup_counters() {
+        PU* arr = nullptr;
+        E::updateTx([&] {
+            arr = static_cast<PU*>(E::alloc_bytes(64 * 64));
+            for (int i = 0; i < 64; ++i) arr[i * 8] = 0u;
+            E::put_object(2, arr);
+        });
+        return arr;
+    }
+
+    UpdateConfigGuard update_guard_;
+    std::unique_ptr<EngineSession<E>> session_;
+};
+
+TYPED_TEST_SUITE(StripeFastPath, FastPathPtms);
+
+TYPED_TEST(StripeFastPath, SmallDisjointUpdateCommitsThroughFastPath) {
+    using E = TypeParam;
+    auto* arr = this->setup_counters();
+    const auto& cs = pmem::tl_commit_stats();
+    const uint64_t commits0 = cs.fastpath_commits;
+    for (int round = 0; round < 10; ++round) {
+        E::updateTx([&] { arr[0] = arr[0].pload() + 1; });
+    }
+    EXPECT_GE(cs.fastpath_commits - commits0, 10u);
+    uint64_t got = 0;
+    E::readTx([&] { got = arr[0].pload(); });
+    EXPECT_EQ(got, 10u);
+}
+
+TYPED_TEST(StripeFastPath, AllocatingTxFallsBackWithoutThrowing) {
+    using E = TypeParam;
+    const auto& cs = pmem::tl_commit_stats();
+    const uint64_t fallbacks0 = cs.fastpath_fallbacks;
+    using PU = typename E::template p<uint64_t>;
+    PU* obj = nullptr;
+    E::updateTx([&] {
+        obj = static_cast<PU*>(E::alloc_bytes(8));
+        *obj = 77u;
+        E::put_object(3, obj);
+    });
+    EXPECT_GT(cs.fastpath_fallbacks, fallbacks0);
+    uint64_t got = 0;
+    E::readTx(
+        [&] { got = E::template get_object<PU>(3)->pload(); });
+    EXPECT_EQ(got, 77u);
+}
+
+// Regression for the std::terminate the throwing abort design hit: a
+// data-structure destructor (implicitly noexcept) running inside an
+// updateTx closure calls tmDelete -> free_bytes while the speculation is
+// open.  The doomed continuation must absorb this without an exception and
+// re-run the closure on the slow path.
+TYPED_TEST(StripeFastPath, NoexceptDestructorFreeInsideTxFallsBack) {
+    using E = TypeParam;
+    using Q = ds::PQueue<E, uint64_t>;
+    Q* q = nullptr;
+    E::updateTx([&] { q = E::template tmNew<Q>(); });
+    for (uint64_t i = 0; i < 8; ++i) q->enqueue(i);
+    const auto& cs = pmem::tl_commit_stats();
+    const uint64_t fallbacks0 = cs.fastpath_fallbacks;
+    // ~PQueue ploads the chain and tmDeletes every node beneath a noexcept
+    // frame; with the fast path armed this doomed the speculation.
+    E::updateTx([&] { E::tmDelete(q); });
+    EXPECT_GT(cs.fastpath_fallbacks, fallbacks0);
+}
+
+TYPED_TEST(StripeFastPath, UserExceptionAbortsWithNoStateChange) {
+    using E = TypeParam;
+    auto* arr = this->setup_counters();
+    E::updateTx([&] { arr[0] = 5u; });
+    const auto& cs = pmem::tl_commit_stats();
+    const uint64_t aborts0 = cs.fastpath_aborts;
+    struct Boom {};
+    EXPECT_THROW(E::updateTx([&] {
+        arr[0] = 99u;
+        throw Boom{};
+    }),
+                 Boom);
+    EXPECT_GT(cs.fastpath_aborts, aborts0);
+    uint64_t got = 0;
+    E::readTx([&] { got = arr[0].pload(); });
+    EXPECT_EQ(got, 5u);  // failure atomicity: the buffered write was dropped
+}
+
+TYPED_TEST(StripeFastPath, FootprintOverflowFallsBackAndLandsEveryStore) {
+    using E = TypeParam;
+    auto* arr = this->setup_counters();
+    update_config().max_fastpath_lines = 4;
+    const auto& cs = pmem::tl_commit_stats();
+    const uint64_t fallbacks0 = cs.fastpath_fallbacks;
+    E::updateTx([&] {
+        for (int i = 0; i < 16; ++i) arr[i * 8] = uint64_t(i) + 1;  // 16 lines
+    });
+    EXPECT_GT(cs.fastpath_fallbacks, fallbacks0);
+    uint64_t sum = 0;
+    E::readTx([&] {
+        for (int i = 0; i < 16; ++i) sum += arr[i * 8].pload();
+    });
+    EXPECT_EQ(sum, 136u);  // 1 + 2 + ... + 16
+}
+
+TYPED_TEST(StripeFastPath, KnobOffForcesSlowPath) {
+    using E = TypeParam;
+    auto* arr = this->setup_counters();
+    update_config().fastpath = false;
+    const auto& cs = pmem::tl_commit_stats();
+    const uint64_t commits0 = cs.fastpath_commits;
+    const uint64_t fallbacks0 = cs.fastpath_fallbacks;
+    for (int round = 0; round < 5; ++round) {
+        E::updateTx([&] { arr[0] = arr[0].pload() + 1; });
+    }
+    EXPECT_EQ(cs.fastpath_commits, commits0);
+    // A knob-off transaction is not an attempted speculation, so it must
+    // not count as a fallback either.
+    EXPECT_EQ(cs.fastpath_fallbacks, fallbacks0);
+    uint64_t v = 0;
+    E::readTx([&] { v = arr[0].pload(); });
+    EXPECT_EQ(v, 5u);
+}
+
+TYPED_TEST(StripeFastPath, DisjointThreadsAllCommitSpeculatively) {
+    using E = TypeParam;
+    auto* arr = this->setup_counters();
+    constexpr int kThreads = 4;
+    constexpr uint64_t kRounds = 200;
+    std::atomic<uint64_t> total_fp_commits{0};
+    std::vector<std::thread> ts;
+    for (int w = 0; w < kThreads; ++w) {
+        ts.emplace_back([&, w] {
+            const auto& cs = pmem::tl_commit_stats();
+            const uint64_t c0 = cs.fastpath_commits;
+            for (uint64_t r = 0; r < kRounds; ++r) {
+                // Thread-private line: no stripe conflicts by construction
+                // (64 slots hash to distinct stripes wide apart).
+                E::updateTx(
+                    [&] { arr[w * 8] = arr[w * 8].pload() + 1; });
+            }
+            total_fp_commits.fetch_add(cs.fastpath_commits - c0);
+        });
+    }
+    for (auto& t : ts) t.join();
+    uint64_t sum = 0;
+    E::readTx([&] {
+        for (int w = 0; w < kThreads; ++w) sum += arr[w * 8].pload();
+    });
+    EXPECT_EQ(sum, kThreads * kRounds);  // no lost updates
+    // Disjoint lines can still collide on a stripe or race a committer's
+    // lock window, so not every update commits speculatively — but the
+    // overwhelming majority must.
+    EXPECT_GT(total_fp_commits.load(), kThreads * kRounds / 2);
+}
+
+// --------------------------------------------------- combiner batch-wait
+
+namespace {
+struct CommitConfigGuard {
+    pmem::CommitConfig saved = pmem::commit_config();
+    ~CommitConfigGuard() { pmem::commit_config() = saved; }
+};
+}  // namespace
+
+// Satellite of the fast-path PR (ROADMAP item 1): with combine_wait_us set,
+// the combiner holds its MUT window open briefly so concurrent announcers
+// join one durable batch instead of each paying their own fence pair.
+TEST(CombineBatchWait, ConcurrentAnnouncersShareOneDurableBatch) {
+    using E = RomulusNL;
+    ProfileGuard profile(pmem::Profile::NOP);
+    UpdateConfigGuard update_guard;
+    // The fast path bypasses the flat combiner entirely; this test is about
+    // the slow path's batching.
+    update_config().fastpath = false;
+    CommitConfigGuard commit_guard;
+    pmem::commit_config().combine_wait_us = 3000;
+    EngineSession<E> session(32u << 20, "combine_wait");
+
+    using PU = E::p<uint64_t>;
+    PU* arr = nullptr;
+    E::updateTx([&] {
+        arr = static_cast<PU*>(E::alloc_bytes(8 * 64));
+        for (int i = 0; i < 64; ++i) arr[i] = 0u;
+        E::put_object(2, arr);
+    });
+
+    constexpr int kThreads = 4;
+    constexpr uint64_t kRounds = 100;
+    // combine_hist is thread-local to whichever thread combined: aggregate
+    // the multi-op buckets (>= 2 ops, buckets 1..7) across workers.
+    std::atomic<uint64_t> multi_op_batches{0};
+    std::vector<std::thread> ts;
+    for (int w = 0; w < kThreads; ++w) {
+        ts.emplace_back([&, w] {
+            const auto& cs = pmem::tl_commit_stats();
+            uint64_t before = 0;
+            for (int b = 1; b < 8; ++b) before += cs.combine_hist[b];
+            for (uint64_t r = 0; r < kRounds; ++r) {
+                E::updateTx([&] { arr[w] = arr[w].pload() + 1; });
+            }
+            uint64_t after = 0;
+            for (int b = 1; b < 8; ++b) after += cs.combine_hist[b];
+            multi_op_batches.fetch_add(after - before);
+        });
+    }
+    for (auto& t : ts) t.join();
+
+    uint64_t sum = 0;
+    E::readTx([&] {
+        for (int w = 0; w < kThreads; ++w) sum += arr[w].pload();
+    });
+    EXPECT_EQ(sum, kThreads * kRounds);
+    // The wait window must have batched at least one pair of announcers.
+    EXPECT_GT(multi_op_batches.load(), 0u);
+}
+
+// ------------------------------------------------------- env knob parsing
+
+TEST(EnvTuning, SharedParserRejectsMalformedValues) {
+    long v = 123;
+    EXPECT_FALSE(parse_env_long(nullptr, 0, &v));
+    EXPECT_FALSE(parse_env_long("", 0, &v));
+    EXPECT_FALSE(parse_env_long("abc", 0, &v));     // atol would yield 0
+    EXPECT_FALSE(parse_env_long("12x", 0, &v));     // trailing garbage
+    EXPECT_FALSE(parse_env_long("1.5", 0, &v));     // not an integer
+    EXPECT_FALSE(parse_env_long("9999999999999999999999", 0, &v));  // ERANGE
+    EXPECT_FALSE(parse_env_long("-3", 0, &v));      // below the floor
+    EXPECT_EQ(v, 123);                              // *out untouched
+    EXPECT_TRUE(parse_env_long("42", 1, &v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parse_env_long(" 7 ", 0, &v));      // blanks tolerated
+    EXPECT_EQ(v, 7);
+    EXPECT_TRUE(parse_env_long("0", 0, &v));
+    EXPECT_EQ(v, 0);
+}
+
+TEST(EnvTuning, MalformedFastPathKnobsLeaveDefaults) {
+    UpdateConfigGuard guard;
+    const UpdateConfig before = update_config();
+    ::setenv("ROMULUS_UPDATE_FASTPATH", "banana", 1);
+    ::setenv("ROMULUS_UPDATE_MAX_LINES", "8x", 1);
+    ::setenv("ROMULUS_UPDATE_STRIPES", "0", 1);  // below the >= 1 floor
+    const std::string applied = apply_env_tuning();
+    ::unsetenv("ROMULUS_UPDATE_FASTPATH");
+    ::unsetenv("ROMULUS_UPDATE_MAX_LINES");
+    ::unsetenv("ROMULUS_UPDATE_STRIPES");
+    EXPECT_EQ(update_config().fastpath, before.fastpath);
+    EXPECT_EQ(update_config().max_fastpath_lines, before.max_fastpath_lines);
+    EXPECT_EQ(update_config().stripes, before.stripes);
+    EXPECT_EQ(applied.find("ROMULUS_UPDATE_"), std::string::npos) << applied;
+}
+
+TEST(EnvTuning, WellFormedFastPathKnobsApply) {
+    UpdateConfigGuard guard;
+    ::setenv("ROMULUS_UPDATE_FASTPATH", "0", 1);
+    ::setenv("ROMULUS_UPDATE_MAX_LINES", "16", 1);
+    ::setenv("ROMULUS_UPDATE_STRIPES", "2048", 1);
+    const std::string applied = apply_env_tuning();
+    ::unsetenv("ROMULUS_UPDATE_FASTPATH");
+    ::unsetenv("ROMULUS_UPDATE_MAX_LINES");
+    ::unsetenv("ROMULUS_UPDATE_STRIPES");
+    EXPECT_FALSE(update_config().fastpath);
+    EXPECT_EQ(update_config().max_fastpath_lines, 16u);
+    EXPECT_EQ(update_config().stripes, 2048u);
+    EXPECT_NE(applied.find("ROMULUS_UPDATE_FASTPATH=0"), std::string::npos)
+        << applied;
+}
+
+// -------------------------------------------------- fast-path crash sweeps
+
+/// A trace whose updates mostly overwrite a tiny hot key set with same-size
+/// (0/1-byte) values: the KV store reuses the value buffer in place, so the
+/// transaction neither allocates nor overflows and commits through the
+/// stripe fast path.  New-key puts and buffer reallocations keep a healthy
+/// share of slow-path commits in the same history, so the sweep crosses
+/// both commit protocols and their interleavings.
+template <typename E>
+analysis::TxTrace fastpath_trace() {
+    analysis::GenConfig g;
+    g.setup_ops = 0;  // every sub-tx is part of the prefix-checked history
+    g.episode_ops = 14;
+    g.key_space = 4;
+    g.value_max = 1;
+    g.put_pct = 85;
+    g.del_pct = 0;
+    g.get_pct = 15;  // remainder 0: no cross-shard batches
+    g.skew_draws = 1;
+    return analysis::generate_trace(
+        g, /*seed=*/20260808, /*shard_count=*/1,
+        analysis::engine_id_of<E>(),
+        [](std::string_view) { return 0u; });
+}
+
+template <typename E>
+class StripeFastPathCrash : public ::testing::Test {
+  protected:
+    void SetUp() override { pmem::set_profile(pmem::Profile::NOP); }
+    void TearDown() override { pmem::set_sim_hooks(nullptr); }
+};
+
+TYPED_TEST_SUITE(StripeFastPathCrash, FastPathPtms);
+
+TYPED_TEST(StripeFastPathCrash, EveryFenceCrashRecoversWithFastPathArmed) {
+    using E = TypeParam;
+    const std::string path =
+        test::heap_path(std::string("fp_crash_") + E::name());
+    pmem::SimPersistence::Options opts{pmem::FlushContent::AtFence, 0.0, 7};
+    test::run_trace_fence_sweep_fastpath<E>(fastpath_trace<E>(), path, opts);
+}
